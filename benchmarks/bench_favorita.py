@@ -1,0 +1,48 @@
+"""The second demo database: Favorita (six-relation join).
+
+Same engine comparison as the Retailer workload, against updates to the
+Sales fact table.
+"""
+
+import pytest
+
+from repro.datasets import favorita_query, favorita_regression_features
+from repro.engine import FIVMEngine, FirstOrderEngine, NaiveEngine
+from repro.rings import CountSpec, CovarSpec
+
+from benchmarks.conftest import apply_all, favorita_batches, total_updates
+
+ENGINES = {
+    "fivm": FIVMEngine,
+    "first-order": FirstOrderEngine,
+    "naive": NaiveEngine,
+}
+
+
+@pytest.mark.parametrize("strategy", list(ENGINES))
+def test_count_maintenance(benchmark, strategy, favorita_db, favorita_order):
+    query = favorita_query(CountSpec())
+    batches = favorita_batches(favorita_db, 6, batch_size=100)
+    benchmark.extra_info["updates"] = total_updates(batches)
+    benchmark.extra_info["strategy"] = strategy
+
+    def setup():
+        engine = ENGINES[strategy](query, order=favorita_order)
+        engine.initialize(favorita_db)
+        return (engine, batches), {}
+
+    benchmark.pedantic(apply_all, setup=setup, rounds=3)
+
+
+def test_regression_covar_maintenance(benchmark, favorita_db, favorita_order):
+    features, _label = favorita_regression_features()
+    query = favorita_query(CovarSpec(features))
+    batches = favorita_batches(favorita_db, 4, batch_size=100)
+    benchmark.extra_info["updates"] = total_updates(batches)
+
+    def setup():
+        engine = FIVMEngine(query, order=favorita_order)
+        engine.initialize(favorita_db)
+        return (engine, batches), {}
+
+    benchmark.pedantic(apply_all, setup=setup, rounds=2)

@@ -1,0 +1,70 @@
+"""Figure 1: the four payload scenarios on the toy database.
+
+Each benchmark builds the view tree, materializes it, and (for the delta
+benchmark) propagates single-tuple updates — the exact computation the
+figure walks through. Assertions pin the figure's numbers so the bench
+doubles as a regression test.
+"""
+
+import pytest
+
+from repro.data import deletes, inserts
+from repro.datasets import (
+    toy_count_query,
+    toy_covar_categorical_query,
+    toy_covar_continuous_query,
+    toy_database,
+    toy_mi_query,
+    toy_variable_order,
+)
+from repro.engine import FIVMEngine
+
+
+def initialize(query):
+    engine = FIVMEngine(query, order=toy_variable_order())
+    engine.initialize(toy_database())
+    return engine
+
+
+def test_fig1_count(benchmark):
+    engine = benchmark(initialize, toy_count_query())
+    assert engine.result().payload(()) == 3
+
+
+def test_fig1_covar_continuous(benchmark):
+    engine = benchmark(initialize, toy_covar_continuous_query())
+    payload = engine.result().payload(())
+    assert payload.c == 3.0
+    assert payload.s.tolist() == [4.0, 5.0, 6.0]
+    assert payload.q[2, 2] == 14.0
+
+
+def test_fig1_covar_categorical(benchmark):
+    engine = benchmark(initialize, toy_covar_categorical_query())
+    payload = engine.result().payload(())
+    ring = engine.plan.ring
+    assert ring.entry(payload, 1, 2).as_dict() == {(1,): 1.0, (2,): 5.0}
+
+
+def test_fig1_mi(benchmark):
+    engine = benchmark(initialize, toy_mi_query())
+    payload = engine.result().payload(())
+    ring = engine.plan.ring
+    assert ring.linear(payload, 0).as_dict() == {(1,): 2, (2,): 1}
+
+
+def test_fig1_delta_propagation(benchmark):
+    """The figure's right-hand side: δR then δS through the view tree."""
+    delta_r = inserts(("A", "B"), [("a1", 1)])
+    delta_s = deletes(("A", "C", "D"), [("a2", 2, 2)])
+
+    def setup():
+        return (initialize(toy_count_query()),), {}
+
+    def propagate(engine):
+        engine.apply("R", delta_r)
+        engine.apply("S", delta_s)
+        return engine
+
+    engine = benchmark.pedantic(propagate, setup=setup, rounds=20)
+    assert engine.result().payload(()) == 4

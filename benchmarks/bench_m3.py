@@ -1,0 +1,35 @@
+"""Figure 2d: view-tree construction and M3 code generation."""
+
+from repro.datasets import regression_features, retailer_query
+from repro.query import plan_variable_order
+from repro.rings import CovarSpec
+from repro.viewtree import build_view_tree, render_tree_dot, render_tree_m3
+
+
+def covar_query():
+    features, _ = regression_features()
+    return retailer_query(CovarSpec(features))
+
+
+def test_plan_variable_order(benchmark):
+    query = covar_query()
+    order = benchmark(plan_variable_order, query)
+    assert order.roots[0].variable == "locn"
+
+
+def test_build_view_tree(benchmark, retailer_order):
+    query = covar_query()
+    tree = benchmark(build_view_tree, query, retailer_order)
+    assert "V@ksn" in tree.views
+
+
+def test_render_m3(benchmark, retailer_order):
+    tree = build_view_tree(covar_query(), retailer_order)
+    text = benchmark(render_tree_m3, tree)
+    assert "DECLARE MAP" in text
+
+
+def test_render_dot(benchmark, retailer_order):
+    tree = build_view_tree(covar_query(), retailer_order)
+    dot = benchmark(render_tree_dot, tree)
+    assert dot.startswith("digraph")

@@ -1,0 +1,16 @@
+"""The demo's application tabs as library components."""
+
+from repro.apps.chowliu_app import ChowLiuApp
+from repro.apps.maintenance_app import MaintenanceStrategyApp
+from repro.apps.model_selection_app import ModelSelectionApp
+from repro.apps.regression_app import RegressionApp
+from repro.apps.session import BulkReport, MaintenanceSession
+
+__all__ = [
+    "MaintenanceSession",
+    "BulkReport",
+    "ModelSelectionApp",
+    "RegressionApp",
+    "ChowLiuApp",
+    "MaintenanceStrategyApp",
+]

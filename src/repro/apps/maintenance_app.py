@@ -1,0 +1,40 @@
+"""Maintenance Strategy tab (Figure 2d).
+
+Shows the view tree F-IVM uses for the input query and, per view, its
+definition in the M3-style representation language.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.query.query import Query
+from repro.query.variable_order import VariableOrder
+from repro.viewtree.builder import ViewTree, build_view_tree
+from repro.viewtree.dot import render_tree_dot
+from repro.viewtree.m3 import render_tree_m3, render_view_m3
+
+__all__ = ["MaintenanceStrategyApp"]
+
+
+class MaintenanceStrategyApp:
+    """View tree + M3 code rendering for a query."""
+
+    def __init__(self, query: Query, order: Optional[VariableOrder] = None):
+        self.query = query
+        self.tree: ViewTree = build_view_tree(query, order=order)
+
+    def render_tree(self) -> str:
+        return self.tree.render()
+
+    def render_m3(self) -> str:
+        return render_tree_m3(self.tree)
+
+    def render_view(self, view_name: str) -> str:
+        return render_view_m3(self.tree, self.tree.views[view_name])
+
+    def render_dot(self) -> str:
+        return render_tree_dot(self.tree)
+
+    def render(self) -> str:
+        return self.render_tree() + "\n\n" + self.render_m3()

@@ -1,0 +1,63 @@
+"""Model Selection tab (Figure 2a).
+
+Maintains the MI count matrix, ranks all attributes by pairwise MI with a
+chosen label, and selects the ones above a threshold. After every bulk the
+ranking refreshes, so "users can observe how relevant attributes become
+irrelevant to predicting the label or vice-versa".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.apps.session import BulkReport, MaintenanceSession
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import FIVMError
+from repro.ml.mi import MIMatrix, mutual_information_matrix
+from repro.ml.model_selection import FeatureRanking, rank_features
+from repro.query.query import Query
+from repro.query.variable_order import VariableOrder
+from repro.rings.lifting import Feature
+from repro.rings.specs import MISpec
+
+__all__ = ["ModelSelectionApp"]
+
+
+class ModelSelectionApp:
+    """Rank features by MI with a label; select above a threshold."""
+
+    def __init__(
+        self,
+        database: Database,
+        relations,
+        features: Tuple[Feature, ...],
+        label: str,
+        threshold: float = 0.2,
+        order: Optional[VariableOrder] = None,
+    ):
+        if label not in {feature.name for feature in features}:
+            raise FIVMError(f"label {label!r} must be one of the MI features")
+        self.label = label
+        self.threshold = threshold
+        query = Query("ModelSelection", tuple(relations), spec=MISpec(tuple(features)))
+        self.session = MaintenanceSession(database, query, order=order)
+
+    # ------------------------------------------------------------------
+
+    def process_bulk(self, batches: Iterable[Tuple[str, Relation]]) -> BulkReport:
+        return self.session.process(batches)
+
+    def mi_matrix(self) -> MIMatrix:
+        return mutual_information_matrix(
+            self.session.root_payload(), self.session.plan
+        )
+
+    def ranking(self) -> FeatureRanking:
+        return rank_features(self.mi_matrix(), self.label)
+
+    def selected_features(self) -> Tuple[str, ...]:
+        return self.ranking().selected(self.threshold)
+
+    def render(self) -> str:
+        return self.ranking().render(self.threshold)

@@ -1,0 +1,100 @@
+"""Regression tab (Figure 2b).
+
+Maintains the COVAR matrix for the chosen features and label; after every
+bulk a batch gradient descent solver *resumes* convergence from the
+previous parameters against the refreshed matrix — the warm-start pattern
+of the demo (and ref [5]).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.session import BulkReport, MaintenanceSession
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import FIVMError
+from repro.ml.covar import CovarMatrix, covar_from_payload
+from repro.ml.regression import RidgeModel, RidgeRegression
+from repro.query.query import Query
+from repro.query.variable_order import VariableOrder
+from repro.rings.lifting import Feature
+from repro.rings.specs import CovarSpec
+
+__all__ = ["RegressionApp"]
+
+
+class RegressionApp:
+    """Ridge linear regression over a maintained COVAR matrix."""
+
+    def __init__(
+        self,
+        database: Database,
+        relations,
+        features: Tuple[Feature, ...],
+        label: str,
+        regularization: float = 1e-2,
+        order: Optional[VariableOrder] = None,
+        backend: str = "auto",
+    ):
+        names = [feature.name for feature in features]
+        if label not in names:
+            raise FIVMError(f"label {label!r} must be one of the COVAR features")
+        query = Query(
+            "Regression",
+            tuple(relations),
+            spec=CovarSpec(tuple(features), backend=backend),
+        )
+        self.session = MaintenanceSession(database, query, order=order)
+        self.solver = RidgeRegression(
+            features=[name for name in names if name != label],
+            label=label,
+            regularization=regularization,
+        )
+        self._theta: Optional[np.ndarray] = None
+        self.model: Optional[RidgeModel] = None
+
+    # ------------------------------------------------------------------
+
+    def process_bulk(self, batches: Iterable[Tuple[str, Relation]]) -> BulkReport:
+        return self.session.process(batches)
+
+    def covar(self) -> CovarMatrix:
+        return covar_from_payload(self.session.root_payload(), self.session.plan)
+
+    def refresh_model(self, max_iterations: int = 2000) -> RidgeModel:
+        """Re-converge parameters against the current COVAR matrix.
+
+        Warm-starts from the previous bulk's parameters when the one-hot
+        column set is unchanged; otherwise restarts from zero (a category
+        appeared or disappeared under updates).
+        """
+        covar = self.covar()
+        theta0 = self._theta
+        if theta0 is not None:
+            expected = 1 + sum(
+                len(covar.columns_of(attr)) for attr in self.solver.features
+            )
+            if theta0.shape != (expected,):
+                theta0 = None
+        self.model = self.solver.fit(
+            covar, theta0=theta0, max_iterations=max_iterations
+        )
+        self._theta = self.model.theta.copy()
+        return self.model
+
+    def render(self) -> str:
+        """Parameters and training RMSE (the tab's right-hand panel)."""
+        if self.model is None:
+            self.refresh_model()
+        lines = [
+            f"ridge λ={self.solver.regularization:g}  "
+            f"RMSE={self.model.training_rmse:.4f}  "
+            f"iterations={self.model.iterations}",
+            f"  intercept: {self.model.intercept:+.4f}",
+        ]
+        for label, weight in self.model.coefficients().items():
+            lines.append(f"  {label:<28} {weight:+.4f}")
+        return "\n".join(lines)

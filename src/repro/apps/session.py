@@ -1,0 +1,87 @@
+"""Maintenance sessions: engine + database + update processing.
+
+A session wires one query to one engine over one database and routes
+update batches to both (the engine maintains the result; the database
+copy tracks ground truth for checks and for delete generation). It is the
+programmatic equivalent of the demo's processing loop: feed a bulk of
+updates, then let the application tabs read the refreshed payload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.engine.base import MaintenanceEngine
+from repro.engine.fivm import FIVMEngine
+from repro.errors import EngineError
+from repro.query.query import Query
+from repro.query.variable_order import VariableOrder
+
+__all__ = ["BulkReport", "MaintenanceSession"]
+
+
+@dataclass
+class BulkReport:
+    """What one processed bulk did and how long it took."""
+
+    batches: int = 0
+    updates: int = 0
+    seconds: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Single-tuple updates per second."""
+        return self.updates / self.seconds if self.seconds > 0 else float("inf")
+
+
+class MaintenanceSession:
+    """One query maintained by one engine over one evolving database."""
+
+    def __init__(
+        self,
+        database: Database,
+        query: Query,
+        order: Optional[VariableOrder] = None,
+        engine_factory: Callable[..., MaintenanceEngine] = FIVMEngine,
+    ):
+        self.query = query
+        self.database = database.copy()
+        self.engine = engine_factory(query, order=order)
+        self.engine.initialize(self.database)
+        self.bulks_processed = 0
+
+    # ------------------------------------------------------------------
+
+    def process(self, batches: Iterable[Tuple[str, Relation]]) -> BulkReport:
+        """Apply a bulk of update batches; returns a timing report."""
+        report = BulkReport()
+        started = time.perf_counter()
+        for relation_name, delta in batches:
+            self.engine.apply(relation_name, delta)
+            self.database.apply(relation_name, delta)
+            report.batches += 1
+            report.updates += sum(abs(m) for m in delta.data.values())
+        report.seconds = time.perf_counter() - started
+        self.bulks_processed += 1
+        return report
+
+    def result(self) -> Relation:
+        return self.engine.result()
+
+    def root_payload(self):
+        """Payload of the (empty-key) root — the maintained compound aggregate."""
+        result = self.engine.result()
+        if result.schema != ():
+            raise EngineError(
+                f"root view is keyed by {result.schema!r}; root_payload() "
+                "expects a fully aggregated query"
+            )
+        return result.payload(())
+
+    @property
+    def plan(self):
+        return self.engine.plan

@@ -1,0 +1,276 @@
+"""Command-line interface: the demo's tabs from a terminal.
+
+The original system is driven through a web UI (Section 3); this CLI is
+its scriptable equivalent:
+
+- ``repro info``    — the Maintenance Strategy tab: view tree + M3 code;
+- ``repro run``     — Model Selection / Regression / Chow-Liu over bulks
+  of updates on a chosen dataset;
+- ``repro bench``   — a one-command engine comparison.
+
+Usage (installed entry point or module)::
+
+    python -m repro info --dataset retailer --payload covar
+    python -m repro run --dataset retailer --app regression --bulks 3
+    python -m repro run --dataset favorita --app model-selection
+    python -m repro bench --dataset retailer --batches 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.apps import (
+    ChowLiuApp,
+    MaintenanceStrategyApp,
+    ModelSelectionApp,
+    RegressionApp,
+)
+from repro.datasets import (
+    FAVORITA_SCHEMAS,
+    RETAILER_SCHEMAS,
+    FavoritaConfig,
+    RetailerConfig,
+    UpdateStream,
+    favorita_query,
+    favorita_regression_features,
+    favorita_row_factories,
+    favorita_variable_order,
+    generate_favorita,
+    generate_retailer,
+    regression_features,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+)
+from repro.engine import FIVMEngine, FirstOrderEngine, NaiveEngine
+from repro.ml.discretize import binning_for_attribute
+from repro.rings import CountSpec, CovarSpec, Feature, MISpec
+
+__all__ = ["main", "build_parser"]
+
+
+def _dataset(args):
+    """Resolve (database, schemas, order, query factory, stream factory)."""
+    if args.dataset == "retailer":
+        config = RetailerConfig(
+            locations=args.scale * 8,
+            dates=args.scale * 15,
+            items=args.scale * 60,
+            inventory_rows=args.scale * 1200,
+            seed=args.seed,
+        )
+        db = generate_retailer(config)
+        factories = retailer_row_factories(config, db)
+        return db, RETAILER_SCHEMAS, retailer_variable_order(), retailer_query, factories, ("Inventory",)
+    config = FavoritaConfig(
+        stores=args.scale * 8,
+        dates=args.scale * 20,
+        items=args.scale * 50,
+        sales_rows=args.scale * 1000,
+        seed=args.seed,
+    )
+    db = generate_favorita(config)
+    factories = favorita_row_factories(config, db)
+    return db, FAVORITA_SCHEMAS, favorita_variable_order(), favorita_query, factories, ("Sales",)
+
+
+def _mi_features(args, db):
+    if args.dataset == "retailer":
+        item = db.relation("Item")
+        inventory = db.relation("Inventory")
+        return (
+            Feature.categorical("ksn"),
+            Feature.categorical("subcategory"),
+            Feature.categorical("category"),
+            Feature.categorical("categoryCluster"),
+            Feature("prize", "continuous", binning_for_attribute(item, "prize", 8)),
+            Feature(
+                "inventoryunits",
+                "continuous",
+                binning_for_attribute(inventory, "inventoryunits", 8),
+            ),
+            Feature.categorical("rain"),
+        ), "inventoryunits"
+    sales = db.relation("Sales")
+    oil = db.relation("Oil")
+    return (
+        Feature.categorical("onpromotion"),
+        Feature.categorical("family"),
+        Feature.categorical("holidaytype"),
+        Feature("oilprize", "continuous", binning_for_attribute(oil, "oilprize", 6)),
+        Feature(
+            "unitsales", "continuous", binning_for_attribute(sales, "unitsales", 8)
+        ),
+    ), "unitsales"
+
+
+def _regression_features(args):
+    if args.dataset == "retailer":
+        return regression_features()
+    return favorita_regression_features()
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_info(args) -> int:
+    db, _schemas, order, query_of, _factories, _targets = _dataset(args)
+    if args.payload == "count":
+        spec = CountSpec()
+    elif args.payload == "covar":
+        features, _label = _regression_features(args)
+        spec = CovarSpec(features)
+    else:
+        features, _label = _mi_features(args, db)
+        spec = MISpec(features)
+    app = MaintenanceStrategyApp(query_of(spec), order=order)
+    print(f"# dataset: {args.dataset}   payload: {args.payload}")
+    print("\n## View tree\n")
+    print(app.render_tree())
+    print("\n## M3 code\n")
+    print(app.render_m3())
+    if args.dot:
+        print("\n## DOT\n")
+        print(app.render_dot())
+    return 0
+
+
+def cmd_run(args) -> int:
+    db, schemas, order, _query_of, factories, targets = _dataset(args)
+    if args.app == "model-selection":
+        features, label = _mi_features(args, db)
+        app = ModelSelectionApp(
+            db, schemas, features, label=label, threshold=args.threshold, order=order
+        )
+        render = app.render
+    elif args.app == "regression":
+        features, label = _regression_features(args)
+        app = RegressionApp(db, schemas, features, label, order=order)
+        app.refresh_model()
+
+        def render():
+            app.refresh_model()
+            return app.render()
+
+    else:
+        features, _label = _mi_features(args, db)
+        app = ChowLiuApp(db, schemas, features, order=order)
+
+        def render():
+            return app.tree().render()
+
+    print(f"# {args.app} on {args.dataset}\n")
+    print(render())
+    stream = UpdateStream(
+        app.session.database,
+        factories,
+        targets=targets,
+        batch_size=args.batch_size,
+        insert_ratio=args.insert_ratio,
+        seed=args.seed,
+    )
+    for bulk in range(1, args.bulks + 1):
+        report = app.process_bulk(stream.bulk(args.bulk_updates))
+        print(
+            f"\n--- bulk {bulk}: {report.updates} updates, "
+            f"{report.throughput:.0f} updates/s ---\n"
+        )
+        print(render())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    db, _schemas, order, query_of, factories, targets = _dataset(args)
+    stream = UpdateStream(
+        db,
+        factories,
+        targets=targets,
+        batch_size=args.batch_size,
+        insert_ratio=args.insert_ratio,
+        seed=args.seed,
+    )
+    batches = list(stream.batches(args.batches))
+    n_updates = sum(
+        sum(abs(m) for m in delta.data.values()) for _n, delta in batches
+    )
+    print(f"# engine comparison on {args.dataset} (count ring)")
+    print(f"{'engine':>14} {'init (s)':>9} {'maintain (s)':>13} {'updates/s':>11}")
+    results = []
+    for engine_cls in (FIVMEngine, FirstOrderEngine, NaiveEngine):
+        engine = engine_cls(query_of(CountSpec()), order=order)
+        started = time.perf_counter()
+        engine.initialize(db)
+        init_s = time.perf_counter() - started
+        started = time.perf_counter()
+        for name, delta in batches:
+            engine.apply(name, delta)
+        seconds = time.perf_counter() - started
+        results.append(engine.result())
+        print(
+            f"{engine.strategy:>14} {init_s:>9.3f} {seconds:>13.3f} "
+            f"{n_updates / seconds:>11.0f}"
+        )
+    assert all(results[0] == other for other in results[1:]), "engines disagree"
+    print("all engines agree on the final result ✓")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="F-IVM demo applications from the command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument(
+            "--dataset", choices=("retailer", "favorita"), default="retailer"
+        )
+        p.add_argument("--scale", type=int, default=1, help="size multiplier")
+        p.add_argument("--seed", type=int, default=1)
+
+    info = sub.add_parser("info", help="view tree + M3 code (Fig 2d)")
+    common(info)
+    info.add_argument("--payload", choices=("count", "covar", "mi"), default="covar")
+    info.add_argument("--dot", action="store_true", help="also print DOT")
+    info.set_defaults(func=cmd_info)
+
+    run = sub.add_parser("run", help="run a demo application over update bulks")
+    common(run)
+    run.add_argument(
+        "--app",
+        choices=("model-selection", "regression", "chow-liu"),
+        default="model-selection",
+    )
+    run.add_argument("--bulks", type=int, default=2)
+    run.add_argument("--bulk-updates", type=int, default=2000)
+    run.add_argument("--batch-size", type=int, default=500)
+    run.add_argument("--insert-ratio", type=float, default=0.75)
+    run.add_argument("--threshold", type=float, default=0.1)
+    run.set_defaults(func=cmd_run)
+
+    bench = sub.add_parser("bench", help="quick engine comparison")
+    common(bench)
+    bench.add_argument("--batches", type=int, default=5)
+    bench.add_argument("--batch-size", type=int, default=100)
+    bench.add_argument("--insert-ratio", type=float, default=0.7)
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

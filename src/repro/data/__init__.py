@@ -1,0 +1,17 @@
+"""Relations, schemas, databases and deltas (the storage layer)."""
+
+from repro.data.database import Database
+from repro.data.delta import delta_of, deletes, inserts, split_delta
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    "Database",
+    "Relation",
+    "DatabaseSchema",
+    "RelationSchema",
+    "inserts",
+    "deletes",
+    "delta_of",
+    "split_delta",
+]

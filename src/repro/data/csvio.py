@@ -1,0 +1,89 @@
+"""CSV import/export for base relations.
+
+The demo drives F-IVM from the Retailer and Favorita CSV dumps; this module
+provides the equivalent ingestion path for our synthetic datasets, so the
+examples can round-trip through files the way the original system does.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.data.relation import Relation
+from repro.errors import DataError
+
+__all__ = ["load_relation", "save_relation"]
+
+PathLike = Union[str, Path]
+
+
+def load_relation(
+    path: PathLike,
+    schema: Tuple[str, ...],
+    types: Optional[Sequence[Callable]] = None,
+    name: str = "",
+    delimiter: str = ",",
+    header: bool = True,
+) -> Relation:
+    """Read a CSV file into a Z-relation.
+
+    ``types`` gives one converter per column (default: ``str`` for all).
+    Rows repeated in the file accumulate multiplicity, matching the bag
+    semantics of base relations.
+    """
+    converters = list(types) if types is not None else [str] * len(schema)
+    if len(converters) != len(schema):
+        raise DataError(
+            f"{len(converters)} converters for {len(schema)} columns"
+        )
+    relation = Relation(schema, name=name)
+    data = relation.data
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        if header:
+            next(reader, None)
+        for lineno, row in enumerate(reader, start=2 if header else 1):
+            if not row:
+                continue
+            if len(row) != len(schema):
+                raise DataError(
+                    f"{path}:{lineno}: expected {len(schema)} fields, got {len(row)}"
+                )
+            try:
+                key = tuple(convert(field) for convert, field in zip(converters, row))
+            except ValueError as exc:
+                raise DataError(f"{path}:{lineno}: {exc}") from None
+            data[key] = data.get(key, 0) + 1
+    return relation
+
+
+def save_relation(relation: Relation, path: PathLike, delimiter: str = ",") -> None:
+    """Write a Z-relation to CSV, repeating rows by multiplicity."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.schema)
+        for key, multiplicity in sorted(relation.data.items(), key=repr):
+            if multiplicity < 0:
+                raise DataError(
+                    f"cannot serialize negative multiplicity for {key!r}"
+                )
+            for _ in range(multiplicity):
+                writer.writerow(key)
+
+
+def load_database_dir(
+    directory: PathLike,
+    schemas: Dict[str, Tuple[str, ...]],
+    types: Optional[Dict[str, Sequence[Callable]]] = None,
+) -> Dict[str, Relation]:
+    """Load ``<directory>/<name>.csv`` for every schema entry."""
+    directory = Path(directory)
+    types = types or {}
+    return {
+        name: load_relation(
+            directory / f"{name}.csv", schema, types.get(name), name=name
+        )
+        for name, schema in schemas.items()
+    }

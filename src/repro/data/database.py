@@ -1,0 +1,101 @@
+"""Databases: named collections of base relations plus delta application.
+
+Base relations always carry integer multiplicities (the Z ring); an update
+is itself a relation whose payloads are positive (inserts) or negative
+(deletes) multiplicities — Section 2's "update δR may consist of both
+inserts and deletes".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import DataError, SchemaError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A mutable set of base relations keyed by name."""
+
+    def __init__(self, relations: Optional[Iterable[Relation]] = None):
+        self.relations: Dict[str, Relation] = {}
+        if relations:
+            for relation in relations:
+                self.add(relation)
+
+    @classmethod
+    def from_dict(cls, relations: Dict[str, Relation]) -> "Database":
+        db = cls()
+        for name, relation in relations.items():
+            if relation.name and relation.name != name:
+                raise SchemaError(
+                    f"relation name {relation.name!r} disagrees with key {name!r}"
+                )
+            relation.name = name
+            db.add(relation)
+        return db
+
+    def add(self, relation: Relation) -> None:
+        if not relation.name:
+            raise SchemaError("database relations must be named")
+        if relation.name in self.relations:
+            raise SchemaError(f"duplicate relation {relation.name!r}")
+        self.relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self):
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return DatabaseSchema.of(
+            RelationSchema(relation.name, relation.schema) for relation in self
+        )
+
+    def copy(self) -> "Database":
+        """Independent copy (relation data dicts are copied)."""
+        return Database(relation.copy() for relation in self)
+
+    def apply(self, name: str, delta: Relation) -> None:
+        """Apply a delta (signed multiplicities) to a base relation.
+
+        Raises :class:`DataError` if a delete drives any multiplicity
+        negative — the stream generators never do, and catching it here
+        converts silent corruption into a loud failure.
+        """
+        relation = self.relation(name)
+        if relation.schema != delta.schema:
+            raise SchemaError(
+                f"delta schema {delta.schema!r} does not match "
+                f"{name!r} {relation.schema!r}"
+            )
+        relation.add_inplace(delta)
+        for key, multiplicity in delta.data.items():
+            if multiplicity < 0 and relation.data.get(key, 0) < 0:
+                raise DataError(
+                    f"delete drove multiplicity of {key!r} in {name!r} below zero"
+                )
+
+    def total_tuples(self) -> int:
+        """Total multiplicity across all base relations."""
+        return sum(
+            sum(relation.data.values()) for relation in self
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{r.name}|{len(r.data)}|" for r in self)
+        return f"<Database {parts}>"

@@ -1,0 +1,47 @@
+"""Helpers for building update deltas.
+
+A delta is a Z-relation: keys map to signed multiplicities. These helpers
+are convenience constructors; the engines accept any Z-:class:`Relation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.data.relation import Relation
+
+__all__ = ["inserts", "deletes", "delta_of", "split_delta"]
+
+
+def inserts(schema: Tuple[str, ...], rows: Iterable[Tuple], name: str = "") -> Relation:
+    """Delta inserting each row once (duplicates accumulate)."""
+    return Relation.from_tuples(schema, rows, name=name)
+
+
+def deletes(schema: Tuple[str, ...], rows: Iterable[Tuple], name: str = "") -> Relation:
+    """Delta deleting each row once."""
+    return Relation.from_tuples(schema, rows, name=name).neg()
+
+
+def delta_of(
+    schema: Tuple[str, ...],
+    inserted: Iterable[Tuple] = (),
+    deleted: Iterable[Tuple] = (),
+    name: str = "",
+) -> Relation:
+    """Mixed delta: inserts minus deletes in one relation."""
+    delta = inserts(schema, inserted, name=name)
+    delta.add_inplace(deletes(schema, deleted))
+    return delta
+
+
+def split_delta(delta: Relation) -> Tuple[Relation, Relation]:
+    """Split a mixed delta into (inserts, deletes); both have >= 0 payloads."""
+    ins = delta.empty_like()
+    dels = delta.empty_like()
+    for key, multiplicity in delta.data.items():
+        if multiplicity > 0:
+            ins.data[key] = multiplicity
+        elif multiplicity < 0:
+            dels.data[key] = -multiplicity
+    return ins, dels

@@ -1,0 +1,102 @@
+"""Relation and database schemas.
+
+Schemas are deliberately light-weight: a relation schema is an ordered
+tuple of attribute names plus a relation name. Attribute *types* only
+matter at the lifting boundary (continuous vs categorical), which is the
+feature layer's concern — the storage and join layers are type-agnostic,
+exactly like the paper's key/payload model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import SchemaError
+
+__all__ = ["RelationSchema", "DatabaseSchema"]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Name and ordered attribute tuple of one relation."""
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} needs at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"relation {self.name!r} has duplicate attributes: {self.attributes!r}"
+            )
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def position(self, attr: str) -> int:
+        """Index of ``attr`` in the schema."""
+        try:
+            return self.attributes.index(attr)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {attr!r} not in relation {self.name!r} {self.attributes!r}"
+            ) from None
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self.attributes
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+
+@dataclass
+class DatabaseSchema:
+    """The schemas of all relations in a database, keyed by name."""
+
+    relations: Dict[str, RelationSchema] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, schemas: Iterable[RelationSchema]) -> "DatabaseSchema":
+        db = cls()
+        for schema in schemas:
+            db.add(schema)
+        return db
+
+    def add(self, schema: RelationSchema) -> None:
+        if schema.name in self.relations:
+            raise SchemaError(f"duplicate relation {schema.name!r}")
+        self.relations[schema.name] = schema
+
+    def schema(self, name: str) -> RelationSchema:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All attribute names across relations, in first-seen order."""
+        seen = []
+        for schema in self.relations.values():
+            for attr in schema.attributes:
+                if attr not in seen:
+                    seen.append(attr)
+        return tuple(seen)
+
+    def relations_with(self, attr: str) -> Tuple[str, ...]:
+        """Names of relations whose schema contains ``attr``."""
+        return tuple(
+            name for name, schema in self.relations.items() if attr in schema
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self):
+        return iter(self.relations.values())

@@ -1,0 +1,60 @@
+"""Datasets: the Figure-1 toy database, synthetic Retailer and Favorita,
+and deterministic update streams."""
+
+from repro.datasets.favorita import (
+    FAVORITA_SCHEMAS,
+    FavoritaConfig,
+    favorita_query,
+    favorita_regression_features,
+    favorita_row_factories,
+    favorita_variable_order,
+    generate_favorita,
+)
+from repro.datasets.retailer import (
+    RETAILER_SCHEMAS,
+    RetailerConfig,
+    continuous_covar_features,
+    generate_retailer,
+    mi_features,
+    regression_features,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+)
+from repro.datasets.toy import (
+    toy_count_query,
+    toy_covar_categorical_query,
+    toy_covar_continuous_query,
+    toy_database,
+    toy_mi_query,
+    toy_query,
+    toy_variable_order,
+)
+from repro.datasets.updates import UpdateStream
+
+__all__ = [
+    "toy_database",
+    "toy_query",
+    "toy_variable_order",
+    "toy_count_query",
+    "toy_covar_continuous_query",
+    "toy_covar_categorical_query",
+    "toy_mi_query",
+    "RetailerConfig",
+    "RETAILER_SCHEMAS",
+    "generate_retailer",
+    "retailer_query",
+    "retailer_variable_order",
+    "retailer_row_factories",
+    "regression_features",
+    "continuous_covar_features",
+    "mi_features",
+    "FavoritaConfig",
+    "FAVORITA_SCHEMAS",
+    "generate_favorita",
+    "favorita_query",
+    "favorita_variable_order",
+    "favorita_row_factories",
+    "favorita_regression_features",
+    "UpdateStream",
+]

@@ -1,0 +1,87 @@
+"""The paper's Figure 1 toy database and query.
+
+Relations ``R(A, B)`` and ``S(A, C, D)`` with ``b_i = c_i = d_i = i``:
+
+    R = {(a1, b1), (a2, b2)}
+    S = {(a1, c1, d1), (a1, c2, d3), (a2, c2, d2)}
+
+The query is ``SUM(g_B(B) * g_C(C) * g_D(D))`` over ``R ⋈ S``. Swapping
+the payload spec reproduces each payload column of the figure: counts
+(Z ring), COVAR over continuous B, C, D (degree-3 ring), COVAR with C
+categorical, and MI with B, C, D categorical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.query.query import Query
+from repro.query.variable_order import VONode, VariableOrder
+from repro.rings.lifting import Feature
+from repro.rings.specs import CountSpec, CovarSpec, MISpec, PayloadSpec
+
+__all__ = [
+    "toy_database",
+    "toy_query",
+    "toy_variable_order",
+    "toy_count_query",
+    "toy_covar_continuous_query",
+    "toy_covar_categorical_query",
+    "toy_mi_query",
+]
+
+R_SCHEMA = RelationSchema("R", ("A", "B"))
+S_SCHEMA = RelationSchema("S", ("A", "C", "D"))
+
+
+def toy_database() -> Database:
+    """Fresh copy of the Figure 1 database (B/C/D values are the integers i)."""
+    r = Relation.from_tuples(("A", "B"), [("a1", 1), ("a2", 2)], name="R")
+    s = Relation.from_tuples(
+        ("A", "C", "D"),
+        [("a1", 1, 1), ("a1", 2, 3), ("a2", 2, 2)],
+        name="S",
+    )
+    return Database([r, s])
+
+
+def toy_query(spec: PayloadSpec, name: str = "Q") -> Query:
+    """The Figure 1 query with an arbitrary payload spec."""
+    return Query(name, (R_SCHEMA, S_SCHEMA), spec=spec)
+
+
+def toy_variable_order() -> VariableOrder:
+    """The figure's strategy: V_R and V_S grouped by A, joined at A."""
+    return VariableOrder([VONode("A", relations=("R", "S"))])
+
+
+def toy_count_query() -> Query:
+    """Scenario 1: the count aggregate over the Z ring."""
+    return toy_query(CountSpec(), name="Q_count")
+
+
+def toy_covar_continuous_query() -> Query:
+    """Scenario 2: COVAR with continuous B, C, D (degree-3 matrix ring)."""
+    spec = CovarSpec(
+        (Feature.continuous("B"), Feature.continuous("C"), Feature.continuous("D"))
+    )
+    return toy_query(spec, name="Q_covar")
+
+
+def toy_covar_categorical_query() -> Query:
+    """Scenario 3: COVAR with categorical C, continuous B and D."""
+    spec = CovarSpec(
+        (Feature.continuous("B"), Feature.categorical("C"), Feature.continuous("D"))
+    )
+    return toy_query(spec, name="Q_covar_cat")
+
+
+def toy_mi_query() -> Query:
+    """Scenario 4: MI counts with categorical B, C, D."""
+    spec = MISpec(
+        (Feature.categorical("B"), Feature.categorical("C"), Feature.categorical("D"))
+    )
+    return toy_query(spec, name="Q_mi")

@@ -1,0 +1,19 @@
+"""Maintenance engines: F-IVM and the baselines it is evaluated against."""
+
+from repro.engine.base import EngineStatistics, MaintenanceEngine
+from repro.engine.evaluation import evaluate_tree, evaluate_view
+from repro.engine.firstorder import FirstOrderEngine
+from repro.engine.fivm import FIVMEngine
+from repro.engine.naive import NaiveEngine
+from repro.engine.peragg import PerAggregateEngine
+
+__all__ = [
+    "MaintenanceEngine",
+    "EngineStatistics",
+    "FIVMEngine",
+    "FirstOrderEngine",
+    "NaiveEngine",
+    "PerAggregateEngine",
+    "evaluate_tree",
+    "evaluate_view",
+]

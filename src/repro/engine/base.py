@@ -1,0 +1,106 @@
+"""Engine interface and maintenance statistics.
+
+Every engine maintains the result of one query under updates to base
+relations. The contract:
+
+- :meth:`MaintenanceEngine.initialize` evaluates the query on an initial
+  database;
+- :meth:`MaintenanceEngine.apply` processes one delta (a Z-relation of
+  signed multiplicities) to one base relation;
+- :meth:`MaintenanceEngine.result` returns the maintained result, a
+  :class:`~repro.data.relation.Relation` keyed by the free variables with
+  payloads in the query's ring.
+
+Engines differ only in *how* they keep the result fresh, which is exactly
+what the paper's experiments compare.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import EngineError
+from repro.query.query import Query
+
+__all__ = ["EngineStatistics", "MaintenanceEngine"]
+
+
+@dataclass
+class EngineStatistics:
+    """Counters engines update as they process deltas."""
+
+    updates_applied: int = 0
+    batches_applied: int = 0
+    tuples_applied: int = 0
+    delta_tuples_propagated: int = 0
+    view_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def record_batch(self, delta: Relation) -> None:
+        self.batches_applied += 1
+        self.updates_applied += sum(abs(m) for m in delta.data.values())
+        self.tuples_applied += len(delta.data)
+
+    def snapshot(self) -> Dict[str, int]:
+        out = {
+            "updates_applied": self.updates_applied,
+            "batches_applied": self.batches_applied,
+            "tuples_applied": self.tuples_applied,
+            "delta_tuples_propagated": self.delta_tuples_propagated,
+        }
+        out.update({f"view:{name}": size for name, size in self.view_sizes.items()})
+        return out
+
+
+class MaintenanceEngine(ABC):
+    """Base class for query-maintenance engines."""
+
+    #: Human-readable engine name used in benchmark tables.
+    strategy = "abstract"
+
+    def __init__(self, query: Query):
+        self.query = query
+        self.stats = EngineStatistics()
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def initialize(self, database: Database) -> None:
+        """Evaluate the query over ``database`` and set up internal state.
+
+        Engines own copies of whatever state they need; the caller remains
+        free to mutate ``database`` afterwards.
+        """
+
+    @abstractmethod
+    def apply(self, relation_name: str, delta: Relation) -> None:
+        """Maintain the result under ``delta`` applied to ``relation_name``."""
+
+    @abstractmethod
+    def result(self) -> Relation:
+        """The maintained query result (treat as read-only)."""
+
+    # ------------------------------------------------------------------
+
+    def apply_batch(self, updates: Iterable[Tuple[str, Relation]]) -> None:
+        """Apply a sequence of per-relation deltas."""
+        for relation_name, delta in updates:
+            self.apply(relation_name, delta)
+
+    def _require_initialized(self) -> None:
+        if not self._initialized:
+            raise EngineError(
+                f"{type(self).__name__} used before initialize()"
+            )
+
+    def _check_delta(self, relation_name: str, delta: Relation) -> None:
+        schema = self.query.schema_of(relation_name)
+        if tuple(delta.schema) != tuple(schema.attributes):
+            raise EngineError(
+                f"delta schema {delta.schema!r} does not match relation "
+                f"{relation_name!r} {schema.attributes!r}"
+            )

@@ -1,0 +1,64 @@
+"""Bottom-up evaluation of a view tree over concrete relations.
+
+Shared by: F-IVM's initialization, the naive re-evaluation baseline, and
+the first-order baseline's delta queries (which evaluate the same tree
+with one base relation replaced by a delta — correct because the join is
+linear in each of its relations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.data.relation import Relation
+from repro.errors import EngineError
+from repro.viewtree.builder import ViewTree
+from repro.viewtree.node import View
+
+__all__ = ["evaluate_view", "evaluate_tree"]
+
+
+def evaluate_view(
+    tree: ViewTree,
+    view: View,
+    relations: Mapping[str, Relation],
+    materialized: Optional[Dict[str, Relation]] = None,
+) -> Relation:
+    """Evaluate ``view`` recursively over the given base ``relations``.
+
+    When ``materialized`` is provided, every evaluated view is recorded in
+    it (used by F-IVM's initialization to materialize the whole tree).
+    """
+    plan = tree.plan
+    if view.is_leaf:
+        try:
+            base = relations[view.relation]
+        except KeyError:
+            raise EngineError(f"missing base relation {view.relation!r}") from None
+        lifts = {attr: plan.lifts[attr] for attr in view.lifted}
+        result = base.lift(plan.ring, view.key, lifts)
+    else:
+        children = [
+            evaluate_view(tree, child, relations, materialized)
+            for child in view.children
+        ]
+        # Join smallest-first keeps intermediates small on skewed data.
+        children.sort(key=len)
+        joined = children[0]
+        for child in children[1:]:
+            joined = joined.join(child)
+        lifts = {attr: plan.lifts[attr] for attr in view.lifted}
+        result = joined.marginalize(view.key, lifts)
+    result.name = view.name
+    if materialized is not None:
+        materialized[view.name] = result
+    return result
+
+
+def evaluate_tree(
+    tree: ViewTree,
+    relations: Mapping[str, Relation],
+    materialized: Optional[Dict[str, Relation]] = None,
+) -> Relation:
+    """Evaluate the whole tree; returns the root view's relation."""
+    return evaluate_view(tree, tree.root, relations, materialized)

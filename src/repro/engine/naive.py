@@ -1,0 +1,70 @@
+"""Naive baseline: re-evaluate the query after every update batch.
+
+The floor of the comparison: correctness is trivial, cost scales with the
+full database size on every batch. ``refresh_on_apply=False`` defers the
+recomputation to :meth:`result` (useful when a caller applies many batches
+and reads once; the default models the demo's refresh-per-bulk behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.engine.base import MaintenanceEngine
+from repro.engine.evaluation import evaluate_tree
+from repro.query.query import Query
+from repro.query.variable_order import VariableOrder
+from repro.viewtree.builder import ViewTree, build_view_tree
+
+__all__ = ["NaiveEngine"]
+
+
+class NaiveEngine(MaintenanceEngine):
+    """Recompute-from-scratch maintenance."""
+
+    strategy = "naive"
+
+    def __init__(
+        self,
+        query: Query,
+        order: Optional[VariableOrder] = None,
+        refresh_on_apply: bool = True,
+    ):
+        super().__init__(query)
+        self.plan = query.build_plan()
+        self.tree: ViewTree = build_view_tree(query, order=order, plan=self.plan)
+        self.refresh_on_apply = refresh_on_apply
+        self._relations: Dict[str, Relation] = {}
+        self._result: Optional[Relation] = None
+        self._stale = True
+
+    def initialize(self, database: Database) -> None:
+        self._relations = {
+            name: database.relation(name).copy()
+            for name in self.query.relation_names
+        }
+        self._result = evaluate_tree(self.tree, self._relations)
+        self._stale = False
+        self._initialized = True
+
+    def apply(self, relation_name: str, delta: Relation) -> None:
+        self._require_initialized()
+        self._check_delta(relation_name, delta)
+        if not delta.data:
+            return
+        self.stats.record_batch(delta)
+        self._relations[relation_name].add_inplace(delta)
+        if self.refresh_on_apply:
+            self._result = evaluate_tree(self.tree, self._relations)
+            self._stale = False
+        else:
+            self._stale = True
+
+    def result(self) -> Relation:
+        self._require_initialized()
+        if self._stale:
+            self._result = evaluate_tree(self.tree, self._relations)
+            self._stale = False
+        return self._result

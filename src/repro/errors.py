@@ -1,0 +1,32 @@
+"""Exception hierarchy for the F-IVM reproduction.
+
+All library errors derive from :class:`FIVMError` so callers can catch one
+base class. Sub-classes partition errors by layer (rings, data, query,
+engine), mirroring the package layout.
+"""
+
+from __future__ import annotations
+
+
+class FIVMError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RingError(FIVMError):
+    """Invalid ring operation, e.g. adding values from incompatible rings."""
+
+
+class SchemaError(FIVMError):
+    """Schema mismatch: wrong arity, unknown attribute, duplicate attribute."""
+
+
+class DataError(FIVMError):
+    """Malformed relation contents (bad key arity, non-integer multiplicity)."""
+
+
+class QueryError(FIVMError):
+    """Ill-formed query or invalid variable order for a query."""
+
+
+class EngineError(FIVMError):
+    """Engine misuse: applying updates before initialization, unknown relation."""

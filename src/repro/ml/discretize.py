@@ -1,0 +1,49 @@
+"""Discretization helpers for MI over continuous attributes.
+
+"When computing the MI for continuous attributes, we first discretize
+their values into bins of finite size" (Section 2). These helpers derive
+equi-width binnings from observed data so callers don't hand-tune ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.data.relation import Relation
+from repro.errors import DataError
+from repro.rings.lifting import Binning, Feature
+
+__all__ = ["binning_from_values", "binning_for_attribute", "binned_feature"]
+
+
+def binning_from_values(values: Iterable[float], bins: int = 10) -> Binning:
+    """Equi-width binning spanning the observed min/max of ``values``."""
+    lo = None
+    hi = None
+    for value in values:
+        value = float(value)
+        if lo is None or value < lo:
+            lo = value
+        if hi is None or value > hi:
+            hi = value
+    if lo is None:
+        raise DataError("cannot derive a binning from no values")
+    if hi == lo:
+        hi = lo + 1.0  # degenerate domain: single bin covers everything
+    return Binning(low=lo, high=hi, count=bins)
+
+
+def binning_for_attribute(relation: Relation, attr: str, bins: int = 10) -> Binning:
+    """Binning spanning the values of ``attr`` in a base relation."""
+    position = relation.schema.index(attr) if attr in relation.schema else None
+    if position is None:
+        raise DataError(f"attribute {attr!r} not in relation schema {relation.schema!r}")
+    return binning_from_values(
+        (key[position] for key in relation.data), bins=bins
+    )
+
+
+def binned_feature(relation: Relation, attr: str, bins: int = 10) -> Feature:
+    """A binned (categorical-ized) feature for MI over a continuous attr."""
+    binning = binning_for_attribute(relation, attr, bins)
+    return Feature(attr, "continuous", binning)

@@ -1,0 +1,149 @@
+"""Pairwise mutual information from maintained count aggregates.
+
+Section 2, MI: for categorical attributes X and Y the maintained payload
+already holds every count needed —
+
+- ``C_0``  : the total count (payload ``c``),
+- ``C_X``  : counts grouped by X (payload ``s`` entries),
+- ``C_XY`` : counts grouped by (X, Y) (payload ``Q`` entries) —
+
+and the MI is::
+
+    I(X, Y) = sum_{x, y} C_XY(x,y)/C_0 * log( C_0 * C_XY(x,y) / (C_X(x) C_Y(y)) )
+
+The diagonal is the entropy H(X) (the self-information I(X, X)).
+Logarithms are natural; scale by 1/ln 2 for bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import FIVMError
+from repro.rings.cofactor import GeneralCofactor, GeneralCofactorRing
+from repro.rings.relational import RelationRing, RelationValue
+from repro.rings.specs import PayloadPlan
+
+__all__ = ["MIMatrix", "mutual_information_matrix", "pairwise_mi", "entropy"]
+
+
+@dataclass
+class MIMatrix:
+    """Symmetric matrix of pairwise MI values (diagonal: entropies)."""
+
+    attributes: Tuple[str, ...]
+    values: np.ndarray
+
+    def mi(self, x: str, y: str) -> float:
+        i = self._index(x)
+        j = self._index(y)
+        return float(self.values[i, j])
+
+    def _index(self, attr: str) -> int:
+        try:
+            return self.attributes.index(attr)
+        except ValueError:
+            raise FIVMError(f"attribute {attr!r} not in MI matrix") from None
+
+    def render(self, precision: int = 3) -> str:
+        """ASCII heat-map table (the Chow-Liu tab's matrix)."""
+        width = max(max(len(a) for a in self.attributes), 8)
+        header = " " * width + " | " + " ".join(
+            f"{a:>{width}}" for a in self.attributes
+        )
+        lines = [header, "-" * len(header)]
+        for i, attr in enumerate(self.attributes):
+            cells = " ".join(
+                f"{self.values[i, j]:>{width}.{precision}f}"
+                for j in range(len(self.attributes))
+            )
+            lines.append(f"{attr:>{width}} | {cells}")
+        return "\n".join(lines)
+
+
+def entropy(c_x: RelationValue, c0: float) -> float:
+    """H(X) from the grouped counts C_X and total C_0."""
+    if c0 <= 0:
+        return 0.0
+    total = 0.0
+    for annotation in c_x.data.values():
+        if annotation > 0:
+            p = annotation / c0
+            total -= p * math.log(p)
+    return total
+
+
+def pairwise_mi(
+    c_xy: RelationValue,
+    c_x: RelationValue,
+    c_y: RelationValue,
+    c0: float,
+    x_first: bool,
+) -> float:
+    """I(X, Y) from the three count relations.
+
+    ``x_first`` says whether X is the first column of ``c_xy``'s canonical
+    (sorted-attribute) schema.
+    """
+    if c0 <= 0 or not c_xy.data:
+        return 0.0
+    x_counts = {key[0]: annotation for key, annotation in c_x.data.items()}
+    y_counts = {key[0]: annotation for key, annotation in c_y.data.items()}
+    total = 0.0
+    for key, joint in c_xy.data.items():
+        if joint <= 0:
+            continue
+        x_val, y_val = (key[0], key[1]) if x_first else (key[1], key[0])
+        cx = x_counts.get(x_val, 0)
+        cy = y_counts.get(y_val, 0)
+        if cx <= 0 or cy <= 0:
+            continue
+        total += (joint / c0) * math.log(c0 * joint / (cx * cy))
+    return max(total, 0.0)
+
+
+def mutual_information_matrix(payload: GeneralCofactor, plan: PayloadPlan) -> MIMatrix:
+    """Expand the maintained payload into the full pairwise MI matrix."""
+    ring = plan.ring
+    if not isinstance(ring, GeneralCofactorRing) or not isinstance(
+        ring.scalar, RelationRing
+    ):
+        raise FIVMError(
+            "MI requires the generalized cofactor ring with relational values "
+            "(use MISpec)"
+        )
+    for feature in plan.features:
+        if not feature.is_categorical:
+            raise FIVMError(
+                f"MI feature {feature.name!r} must be categorical or binned"
+            )
+    attributes = plan.layout.attributes
+    m = len(attributes)
+    c0 = float(payload.c.annotation(())) if payload.c.data else 0.0
+    values = np.zeros((m, m))
+    marginals: List[RelationValue] = [
+        payload.s.get(i, RelationValue()) for i in range(m)
+    ]
+    for i in range(m):
+        values[i, i] = entropy(marginals[i], c0)
+        for j in range(i + 1, m):
+            joint = payload.q.get((i, j), RelationValue())
+            if joint.data:
+                # Canonical schemas are sorted, so the first column of the
+                # joint relation is whichever attribute name sorts first.
+                x_first = joint.schema[0] == _binned_name(plan, i, attributes[i])
+            else:
+                x_first = True
+            mi = pairwise_mi(joint, marginals[i], marginals[j], c0, x_first)
+            values[i, j] = mi
+            values[j, i] = mi
+    return MIMatrix(attributes=attributes, values=values)
+
+
+def _binned_name(plan: PayloadPlan, slot: int, attr: str) -> str:
+    """Relation-value column name for a feature (its attribute name)."""
+    return attr

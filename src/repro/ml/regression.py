@@ -1,0 +1,210 @@
+"""Ridge linear regression over maintained COVAR matrices.
+
+The paper's Regression tab: after every bulk of updates, a batch gradient
+descent solver "resumes the convergence of the model parameters using
+gradients that are made of the previous parameter values and the new COVAR
+matrix". Nothing here touches the training data — count, sums and second
+moments from the maintained payload are sufficient statistics for the
+squared-loss gradient:
+
+    grad J(theta) = (1/N) (A theta - b) + lambda * D theta
+
+with ``A = sum z z^T`` over extended feature vectors ``z = [1, x]``,
+``b = sum z y``, both sub-blocks of the extended COVAR matrix, and ``D``
+the ridge mask (the intercept is not penalized by default).
+
+A closed-form solver is included for cross-checking; the demo flow uses
+:meth:`RidgeRegression.fit` with ``theta0`` warm-started from the previous
+bulk's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FIVMError
+from repro.ml.covar import Column, CovarMatrix
+
+__all__ = ["RidgeModel", "RidgeRegression"]
+
+
+@dataclass
+class RidgeModel:
+    """A fitted ridge model over expanded (one-hot) columns."""
+
+    feature_columns: Tuple[Column, ...]
+    label: str
+    theta: np.ndarray
+    iterations: int = 0
+    converged: bool = True
+    gradient_norm: float = 0.0
+    training_rmse: float = float("nan")
+
+    @property
+    def intercept(self) -> float:
+        return float(self.theta[0])
+
+    def coefficients(self) -> Dict[str, float]:
+        """Column label -> weight (excluding the intercept)."""
+        return {
+            column.label: float(weight)
+            for column, weight in zip(self.feature_columns, self.theta[1:])
+        }
+
+    def predict(self, row: Mapping[str, Any]) -> float:
+        """Predict the label for a feature assignment.
+
+        Continuous features read their value from ``row``; categorical
+        features contribute the weight of the matching one-hot column
+        (unseen categories contribute nothing, as they would with a
+        train-time one-hot encoder).
+        """
+        total = self.intercept
+        for column, weight in zip(self.feature_columns, self.theta[1:]):
+            if column.attribute not in row:
+                raise FIVMError(f"missing feature {column.attribute!r}")
+            value = row[column.attribute]
+            if column.category is None:
+                total += float(weight) * float(value)
+            elif value == column.category:
+                total += float(weight)
+        return total
+
+
+class RidgeRegression:
+    """Learn ``label ~ features`` from a :class:`CovarMatrix`."""
+
+    def __init__(
+        self,
+        features: Sequence[str],
+        label: str,
+        regularization: float = 1e-3,
+        penalize_intercept: bool = False,
+    ):
+        if not features:
+            raise FIVMError("ridge regression needs at least one feature")
+        if label in features:
+            raise FIVMError(f"label {label!r} cannot also be a feature")
+        if regularization < 0:
+            raise FIVMError("regularization must be non-negative")
+        self.features = tuple(features)
+        self.label = label
+        self.regularization = regularization
+        self.penalize_intercept = penalize_intercept
+
+    # ------------------------------------------------------------------
+
+    def design(self, covar: CovarMatrix) -> Tuple[np.ndarray, np.ndarray, float, Tuple[Column, ...]]:
+        """Extract (A, b, N, feature_columns) from the COVAR matrix."""
+        label_indices = covar.columns_of(self.label)
+        if len(label_indices) != 1 or covar.columns[label_indices[0]].category is not None:
+            raise FIVMError(
+                f"label {self.label!r} must be a single continuous column"
+            )
+        label_index = label_indices[0]
+        feature_indices = []
+        for attr in self.features:
+            feature_indices.extend(covar.columns_of(attr))
+        columns = tuple(covar.columns[i] for i in feature_indices)
+        extended = covar.extended()
+        # Rows/cols of the extended matrix: 0 is the intercept, i+1 is column i.
+        take = np.array([0] + [i + 1 for i in feature_indices])
+        a = extended[np.ix_(take, take)]
+        b = extended[take, label_index + 1]
+        return a, b, covar.count, columns
+
+    def _ridge_mask(self, dimension: int) -> np.ndarray:
+        mask = np.ones(dimension)
+        if not self.penalize_intercept:
+            mask[0] = 0.0
+        return mask
+
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        covar: CovarMatrix,
+        theta0: Optional[np.ndarray] = None,
+        learning_rate: Optional[float] = None,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-9,
+    ) -> RidgeModel:
+        """Batch gradient descent (warm-startable via ``theta0``)."""
+        a, b, n, columns = self.design(covar)
+        if n <= 0:
+            raise FIVMError("cannot fit on an empty training dataset")
+        d = len(columns) + 1
+        mask = self._ridge_mask(d)
+        theta = (
+            np.zeros(d)
+            if theta0 is None
+            else np.asarray(theta0, dtype=float).copy()
+        )
+        if theta.shape != (d,):
+            raise FIVMError(
+                f"theta0 has shape {theta.shape}, expected ({d},) — did the "
+                "one-hot columns change between bulks?"
+            )
+        if learning_rate is None:
+            # 1/L with L the Lipschitz constant of the gradient.
+            lipschitz = float(np.linalg.eigvalsh(a / n)[-1]) + self.regularization
+            learning_rate = 1.0 if lipschitz <= 0 else 1.0 / lipschitz
+        gradient_norm = float("inf")
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            gradient = (a @ theta - b) / n + self.regularization * mask * theta
+            gradient_norm = float(np.linalg.norm(gradient))
+            if gradient_norm <= tolerance:
+                break
+            theta -= learning_rate * gradient
+        model = RidgeModel(
+            feature_columns=columns,
+            label=self.label,
+            theta=theta,
+            iterations=iterations,
+            converged=gradient_norm <= tolerance,
+            gradient_norm=gradient_norm,
+        )
+        model.training_rmse = self.training_rmse(covar, model)
+        return model
+
+    def fit_closed_form(self, covar: CovarMatrix) -> RidgeModel:
+        """Direct solve of the regularized normal equations."""
+        a, b, n, columns = self.design(covar)
+        if n <= 0:
+            raise FIVMError("cannot fit on an empty training dataset")
+        d = len(columns) + 1
+        mask = self._ridge_mask(d)
+        system = a / n + self.regularization * np.diag(mask)
+        try:
+            theta = np.linalg.solve(system, b / n)
+        except np.linalg.LinAlgError:
+            theta, *_ = np.linalg.lstsq(system, b / n, rcond=None)
+        model = RidgeModel(
+            feature_columns=columns,
+            label=self.label,
+            theta=theta,
+            iterations=0,
+            converged=True,
+            gradient_norm=0.0,
+        )
+        model.training_rmse = self.training_rmse(covar, model)
+        return model
+
+    # ------------------------------------------------------------------
+
+    def training_rmse(self, covar: CovarMatrix, model: RidgeModel) -> float:
+        """Training RMSE from sufficient statistics only.
+
+        ``sum (theta^T z - y)^2 = theta^T A theta - 2 theta^T b + sum y^2``,
+        every term available in the COVAR matrix.
+        """
+        a, b, n, _columns = self.design(covar)
+        label_index = covar.columns_of(self.label)[0]
+        sum_y2 = float(covar.moments[label_index, label_index])
+        theta = model.theta
+        sse = float(theta @ a @ theta - 2.0 * theta @ b + sum_y2)
+        return float(np.sqrt(max(sse, 0.0) / n))

@@ -1,0 +1,15 @@
+"""Queries, join hypergraphs, variable orders and the planner."""
+
+from repro.query.hypergraph import Hypergraph
+from repro.query.planner import plan_variable_order, required_variables
+from repro.query.query import Query
+from repro.query.variable_order import VONode, VariableOrder
+
+__all__ = [
+    "Hypergraph",
+    "Query",
+    "VONode",
+    "VariableOrder",
+    "plan_variable_order",
+    "required_variables",
+]

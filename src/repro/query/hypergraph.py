@@ -1,0 +1,139 @@
+"""Join hypergraphs: connectivity and GYO acyclicity.
+
+The query's join structure is a hypergraph with one vertex per attribute
+and one hyperedge per relation schema. The planner decomposes it into a
+variable order; the GYO (Graham/Yu-Ozsoyoglu) reduction classifies queries
+as (alpha-)acyclic — for acyclic queries F-IVM's views stay no larger than
+the base relations along the chosen order, which is where the maintenance
+wins come from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """An attribute/relation join hypergraph."""
+
+    def __init__(self, edges: Dict[str, Iterable[str]]):
+        #: edge name (relation) -> frozenset of vertices (attributes)
+        self.edges: Dict[str, FrozenSet[str]] = {
+            name: frozenset(attrs) for name, attrs in edges.items()
+        }
+        self.vertices: FrozenSet[str] = frozenset().union(*self.edges.values()) if self.edges else frozenset()
+
+    def edges_with(self, vertex: str) -> Tuple[str, ...]:
+        """Names of hyperedges containing ``vertex``."""
+        return tuple(name for name, attrs in self.edges.items() if vertex in attrs)
+
+    def vertex_degree(self, vertex: str) -> int:
+        """Number of hyperedges containing ``vertex``."""
+        return sum(1 for attrs in self.edges.values() if vertex in attrs)
+
+    def shared_vertices(self) -> FrozenSet[str]:
+        """Vertices occurring in at least two hyperedges (the join keys)."""
+        return frozenset(v for v in self.vertices if self.vertex_degree(v) >= 2)
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def components(
+        self, vertices: Iterable[str], edge_names: Iterable[str]
+    ) -> List[Tuple[Set[str], List[str]]]:
+        """Connected components of the sub-hypergraph.
+
+        Restricted to ``vertices``; only ``edge_names`` participate. Returns
+        ``(component_vertices, component_edges)`` pairs; edges whose
+        restriction to ``vertices`` is empty form singleton edge-only
+        components (their relations join by cartesian product).
+        """
+        vertex_set = set(vertices)
+        remaining_edges = list(edge_names)
+        restricted = {
+            name: self.edges[name] & vertex_set for name in remaining_edges
+        }
+        assigned: Dict[str, int] = {}
+        components: List[Tuple[Set[str], List[str]]] = []
+        for name in remaining_edges:
+            attrs = restricted[name]
+            if not attrs:
+                components.append((set(), [name]))
+                continue
+            hit = {assigned[v] for v in attrs if v in assigned}
+            if not hit:
+                index = len(components)
+                components.append((set(attrs), [name]))
+            else:
+                index = min(hit)
+                target_vertices, target_edges = components[index]
+                # merge any other touched components into the first
+                for other in sorted(hit - {index}, reverse=True):
+                    other_vertices, other_edges = components[other]
+                    target_vertices |= other_vertices
+                    target_edges.extend(other_edges)
+                    for v in other_vertices:
+                        assigned[v] = index
+                    components[other] = (set(), [])
+                target_vertices |= attrs
+                target_edges.append(name)
+            for v in attrs:
+                assigned[v] = index
+        return [
+            (vertices_, edges_) for vertices_, edges_ in components if edges_
+        ]
+
+    def is_connected(self) -> bool:
+        relevant = [c for c in self.components(self.vertices, self.edges) if c[1]]
+        return len(relevant) <= 1
+
+    # ------------------------------------------------------------------
+    # GYO reduction
+    # ------------------------------------------------------------------
+
+    def is_acyclic(self) -> bool:
+        """Alpha-acyclicity via the GYO ear-removal reduction.
+
+        Repeatedly remove (1) vertices occurring in a single remaining edge
+        and (2) edges contained in another remaining edge; the query is
+        acyclic iff everything reduces away.
+        """
+        edges: Dict[str, Set[str]] = {
+            name: set(attrs) for name, attrs in self.edges.items()
+        }
+        changed = True
+        while changed and len(edges) > 1:
+            changed = False
+            # Rule 1: drop vertices local to one edge.
+            counts: Dict[str, int] = {}
+            for attrs in edges.values():
+                for v in attrs:
+                    counts[v] = counts.get(v, 0) + 1
+            for attrs in edges.values():
+                lonely = {v for v in attrs if counts[v] == 1}
+                if lonely:
+                    attrs -= lonely
+                    changed = True
+            # Rule 2: drop edges contained in other edges (incl. now-empty).
+            names = list(edges)
+            for name in names:
+                attrs = edges[name]
+                for other, other_attrs in edges.items():
+                    if other != name and attrs <= other_attrs:
+                        del edges[name]
+                        changed = True
+                        break
+        if not edges:
+            return True
+        if len(edges) == 1:
+            return True
+        return all(not attrs for attrs in edges.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{name}({', '.join(sorted(attrs))})" for name, attrs in self.edges.items()
+        )
+        return f"<Hypergraph {parts}>"

@@ -1,0 +1,95 @@
+"""Greedy variable-order planner.
+
+Given a query, pick a good variable order automatically:
+
+- the variables are the attributes that *must* be variables (shared or
+  free), plus any the caller requests;
+- the order is built top-down: in each connected component of the join
+  hypergraph, choose the variable covering the most relations (free
+  variables first, ties by name for determinism), then recurse into the
+  components that remain after removing it;
+- a relation anchors at the node where its last variable is chosen.
+
+Because all variables of one relation are pairwise connected (they share
+that relation's hyperedge), they always stay in one component, so every
+produced order is valid. For acyclic queries this mirrors the classical
+join-tree decomposition; for cyclic queries the dependency sets simply
+grow, matching F-IVM's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import QueryError
+from repro.query.hypergraph import Hypergraph
+from repro.query.query import Query
+from repro.query.variable_order import VONode, VariableOrder
+
+__all__ = ["plan_variable_order", "required_variables"]
+
+
+def required_variables(query: Query) -> Tuple[str, ...]:
+    """Attributes that must appear as variables: shared or free."""
+    shared = set(query.join_attributes)
+    out = []
+    for attr in query.attributes:
+        if attr in shared or attr in query.free:
+            out.append(attr)
+    return tuple(out)
+
+
+def plan_variable_order(
+    query: Query,
+    extra_variables: Iterable[str] = (),
+) -> VariableOrder:
+    """Build a valid variable order for ``query``.
+
+    ``extra_variables`` forces additional attributes to become variables
+    (e.g. to marginalize a lifted attribute at a dedicated node rather
+    than in its relation's leaf view).
+    """
+    variables: List[str] = list(required_variables(query))
+    for attr in extra_variables:
+        if attr not in query.attributes:
+            raise QueryError(f"extra variable {attr!r} not in query")
+        if attr not in variables:
+            variables.append(attr)
+    graph = query.hypergraph()
+    free = set(query.free)
+
+    def choose(component_vars: Set[str], component_edges: Sequence[str]) -> str:
+        def degree(var: str) -> int:
+            return sum(1 for name in component_edges if var in graph.edges[name])
+
+        candidates = sorted(
+            component_vars,
+            key=lambda var: (var not in free, -degree(var), var),
+        )
+        return candidates[0]
+
+    def decompose(component_vars: Set[str], component_edges: List[str]) -> VONode:
+        variable = choose(component_vars, component_edges)
+        remaining = component_vars - {variable}
+        children: List[VONode] = []
+        anchored: List[str] = []
+        for sub_vars, sub_edges in graph.components(remaining, component_edges):
+            if sub_vars:
+                children.append(decompose(sub_vars, sub_edges))
+            else:
+                anchored.extend(sub_edges)
+        children.sort(key=lambda node: node.variable)
+        return VONode(variable, children=children, relations=sorted(anchored))
+
+    roots: List[VONode] = []
+    root_relations: List[str] = []
+    variable_set = set(variables)
+    for comp_vars, comp_edges in graph.components(variable_set, list(graph.edges)):
+        if comp_vars:
+            roots.append(decompose(comp_vars, comp_edges))
+        else:
+            root_relations.extend(comp_edges)
+    roots.sort(key=lambda node: node.variable)
+    order = VariableOrder(roots, sorted(root_relations))
+    order.validate(query)
+    return order

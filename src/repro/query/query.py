@@ -1,0 +1,109 @@
+"""Queries: natural joins with a compound aggregate payload.
+
+A :class:`Query` is the paper's object of maintenance::
+
+    SELECT free..., SUM(g_X1(X1) * ... * g_Xk(Xk))
+    FROM R1 NATURAL JOIN ... NATURAL JOIN Rn
+    GROUP BY free...
+
+The ``spec`` (a :class:`~repro.rings.specs.PayloadSpec`) decides the ring
+and which attributes are lifted; everything else — the join, the free
+variables, the view tree — is ring-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.data.schema import RelationSchema
+from repro.errors import QueryError
+from repro.query.hypergraph import Hypergraph
+from repro.rings.specs import CountSpec, PayloadPlan, PayloadSpec
+
+__all__ = ["Query"]
+
+
+@dataclass
+class Query:
+    """A natural-join query with a payload specification.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in plans and rendered M3 code.
+    relations:
+        Schemas of the joined relations (at least one).
+    spec:
+        What to maintain (count / SUM / COVAR / MI). Default: count.
+    free:
+        Group-by attributes kept as keys of the result (often empty: the
+        demo applications group inside the ring instead).
+    """
+
+    name: str
+    relations: Tuple[RelationSchema, ...]
+    spec: PayloadSpec = field(default_factory=CountSpec)
+    free: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.relations:
+            raise QueryError(f"query {self.name!r} joins no relations")
+        names = [schema.name for schema in self.relations]
+        if len(set(names)) != len(names):
+            raise QueryError(f"query {self.name!r} joins a relation twice: {names}")
+        attrs = self.attributes
+        for attr in self.free:
+            if attr not in attrs:
+                raise QueryError(f"free variable {attr!r} not in any relation")
+        for attr in self.spec.lifted_attributes:
+            if attr not in attrs:
+                raise QueryError(f"lifted attribute {attr!r} not in any relation")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(schema.name for schema in self.relations)
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All attributes, in first-seen order across relations."""
+        seen: Dict[str, None] = {}
+        for schema in self.relations:
+            for attr in schema.attributes:
+                seen.setdefault(attr)
+        return tuple(seen)
+
+    @property
+    def join_attributes(self) -> Tuple[str, ...]:
+        """Attributes occurring in at least two relations."""
+        counts: Dict[str, int] = {}
+        for schema in self.relations:
+            for attr in schema.attributes:
+                counts[attr] = counts.get(attr, 0) + 1
+        return tuple(attr for attr in self.attributes if counts[attr] >= 2)
+
+    def schema_of(self, relation_name: str) -> RelationSchema:
+        for schema in self.relations:
+            if schema.name == relation_name:
+                return schema
+        raise QueryError(f"relation {relation_name!r} not in query {self.name!r}")
+
+    def hypergraph(self) -> Hypergraph:
+        return Hypergraph(
+            {schema.name: schema.attributes for schema in self.relations}
+        )
+
+    def is_acyclic(self) -> bool:
+        return self.hypergraph().is_acyclic()
+
+    def build_plan(self) -> PayloadPlan:
+        """Build the payload ring and per-attribute lifting functions."""
+        return self.spec.build()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rels = " ⋈ ".join(
+            f"{s.name}({', '.join(s.attributes)})" for s in self.relations
+        )
+        return f"<Query {self.name}: {rels}>"

@@ -1,0 +1,266 @@
+"""Variable orders: the skeleton of F-IVM's view trees.
+
+A variable order is a rooted forest over a chosen subset of the query's
+attributes (its *variables*), with every base relation anchored at one
+node. It generalizes join orders the way factorized query plans do: one
+view per variable, keyed by the variable's *dependency set* — the ancestor
+variables that co-occur with its subtree (cf. the view keys in Figure 2d,
+e.g. ``V@ksn[dateid, locn]``).
+
+Attributes that are **not** variables must be local to a single relation;
+they are lifted and aggregated away in that relation's leaf view. Shared
+attributes and free (group-by) attributes must be variables.
+
+Validity of an order for a query (checked by :meth:`VariableOrder.validate`):
+
+1. every variable occurs at exactly one node;
+2. every relation is anchored at exactly one node, and the relation's
+   variables all lie on the root-to-anchor path;
+3. every attribute shared by two relations, and every free attribute, is a
+   variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.query.query import Query
+
+__all__ = ["VONode", "VariableOrder"]
+
+
+class VONode:
+    """One variable of the order, its children and anchored relations."""
+
+    __slots__ = ("variable", "children", "relations")
+
+    def __init__(
+        self,
+        variable: str,
+        children: Iterable["VONode"] = (),
+        relations: Iterable[str] = (),
+    ):
+        self.variable = variable
+        self.children: Tuple[VONode, ...] = tuple(children)
+        self.relations: Tuple[str, ...] = tuple(relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bits = [self.variable]
+        if self.relations:
+            bits.append(f"rels={list(self.relations)}")
+        if self.children:
+            bits.append(f"children={[c.variable for c in self.children]}")
+        return f"VONode({', '.join(bits)})"
+
+
+class VariableOrder:
+    """A rooted forest of :class:`VONode` plus root-anchored relations.
+
+    ``root_relations`` anchors relations that have no variables at all
+    (e.g. a single-relation query with every attribute aggregated away);
+    their leaf views join at the virtual root.
+    """
+
+    def __init__(
+        self,
+        roots: Iterable[VONode],
+        root_relations: Iterable[str] = (),
+    ):
+        self.roots: Tuple[VONode, ...] = tuple(roots)
+        self.root_relations: Tuple[str, ...] = tuple(root_relations)
+        self._parent: Dict[str, Optional[str]] = {}
+        self._nodes: Dict[str, VONode] = {}
+        self._anchor: Dict[str, str] = {}
+        for root in self.roots:
+            self._index(root, None)
+
+    def _index(self, node: VONode, parent: Optional[str]) -> None:
+        if node.variable in self._nodes:
+            raise QueryError(f"variable {node.variable!r} occurs twice in the order")
+        self._nodes[node.variable] = node
+        self._parent[node.variable] = parent
+        for name in node.relations:
+            if name in self._anchor:
+                raise QueryError(f"relation {name!r} anchored twice")
+            self._anchor[name] = node.variable
+        for child in node.children:
+            self._index(child, node.variable)
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """All variables, in pre-order."""
+        out: List[str] = []
+
+        def visit(node: VONode) -> None:
+            out.append(node.variable)
+            for child in node.children:
+                visit(child)
+
+        for root in self.roots:
+            visit(root)
+        return tuple(out)
+
+    def node(self, variable: str) -> VONode:
+        try:
+            return self._nodes[variable]
+        except KeyError:
+            raise QueryError(f"unknown variable {variable!r}") from None
+
+    def parent(self, variable: str) -> Optional[str]:
+        self.node(variable)
+        return self._parent[variable]
+
+    def ancestors(self, variable: str) -> Tuple[str, ...]:
+        """Ancestors of ``variable`` from root down to its parent."""
+        chain: List[str] = []
+        current = self.parent(variable)
+        while current is not None:
+            chain.append(current)
+            current = self._parent[current]
+        return tuple(reversed(chain))
+
+    def path_to_root(self, variable: str) -> Tuple[str, ...]:
+        """``variable`` followed by its ancestors up to the root."""
+        return (variable,) + tuple(reversed(self.ancestors(variable)))
+
+    def anchor_of(self, relation_name: str) -> Optional[str]:
+        """Variable whose node anchors ``relation_name`` (None = root)."""
+        if relation_name in self.root_relations:
+            return None
+        if relation_name not in self._anchor:
+            raise QueryError(f"relation {relation_name!r} is not anchored")
+        return self._anchor[relation_name]
+
+    @property
+    def anchored_relations(self) -> Tuple[str, ...]:
+        return tuple(self._anchor) + self.root_relations
+
+    def subtree_variables(self, variable: str) -> Tuple[str, ...]:
+        out: List[str] = []
+
+        def visit(node: VONode) -> None:
+            out.append(node.variable)
+            for child in node.children:
+                visit(child)
+
+        visit(self.node(variable))
+        return tuple(out)
+
+    def subtree_relations(self, variable: str) -> Tuple[str, ...]:
+        out: List[str] = []
+
+        def visit(node: VONode) -> None:
+            out.extend(node.relations)
+            for child in node.children:
+                visit(child)
+
+        visit(self.node(variable))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Validation and dependency sets
+    # ------------------------------------------------------------------
+
+    def validate(self, query: Query) -> None:
+        """Raise :class:`QueryError` unless this order is valid for ``query``."""
+        variables = set(self.variables)
+        attrs = set(query.attributes)
+        for variable in variables:
+            if variable not in attrs:
+                raise QueryError(f"order variable {variable!r} not in query")
+        for attr in query.join_attributes:
+            if attr not in variables:
+                raise QueryError(
+                    f"shared attribute {attr!r} must be a variable of the order"
+                )
+        for attr in query.free:
+            if attr not in variables:
+                raise QueryError(
+                    f"free attribute {attr!r} must be a variable of the order"
+                )
+        anchored = set(self.anchored_relations)
+        for schema in query.relations:
+            if schema.name not in anchored:
+                raise QueryError(f"relation {schema.name!r} is not anchored")
+            anchor = self.anchor_of(schema.name)
+            path = set(self.path_to_root(anchor)) if anchor is not None else set()
+            rel_vars = set(schema.attributes) & variables
+            stray = rel_vars - path
+            if stray:
+                raise QueryError(
+                    f"variables {sorted(stray)} of relation {schema.name!r} are "
+                    f"not on the root path of its anchor {anchor!r}"
+                )
+        for name in anchored:
+            query.schema_of(name)  # raises for unknown relations
+
+    def dependency_set(self, query: Query, variable: str) -> Tuple[str, ...]:
+        """dep(X): ancestors of X co-occurring with X's subtree.
+
+        These are the group-by keys of the view V@X (Figure 2d). Ordered
+        root-first along the path for deterministic view schemas.
+        """
+        variables = set(self.variables)
+        subtree_rel_attrs = set()
+        for name in self.subtree_relations(variable):
+            subtree_rel_attrs |= set(query.schema_of(name).attributes) & variables
+        ancestors = self.ancestors(variable)
+        return tuple(attr for attr in ancestors if attr in subtree_rel_attrs)
+
+    def free_below(self, query: Query, variable: str) -> Tuple[str, ...]:
+        """Free variables within the subtree of ``variable`` (carried keys)."""
+        free = set(query.free)
+        return tuple(
+            v for v in self.subtree_variables(variable) if v in free
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def chain(
+        cls,
+        variables: Tuple[str, ...],
+        anchors: Dict[str, str],
+        root_relations: Iterable[str] = (),
+    ) -> "VariableOrder":
+        """A single-path order (always valid if variables cover the query).
+
+        ``anchors`` maps relation names to the variable they anchor at.
+        """
+        node: Optional[VONode] = None
+        for variable in reversed(variables):
+            relations = tuple(
+                name for name, anchor in anchors.items() if anchor == variable
+            )
+            node = VONode(
+                variable,
+                children=(node,) if node is not None else (),
+                relations=relations,
+            )
+        roots = (node,) if node is not None else ()
+        return cls(roots, root_relations)
+
+    def render(self) -> str:
+        """ASCII rendering of the forest (for docs and debugging)."""
+        lines: List[str] = []
+
+        def visit(node: VONode, depth: int) -> None:
+            label = node.variable
+            if node.relations:
+                label += "  [" + ", ".join(node.relations) + "]"
+            lines.append("  " * depth + label)
+            for child in node.children:
+                visit(child, depth + 1)
+
+        for root in self.roots:
+            visit(root, 0)
+        for name in self.root_relations:
+            lines.append(f"[{name}]")
+        return "\n".join(lines)

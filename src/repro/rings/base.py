@@ -1,0 +1,180 @@
+"""Commutative ring abstraction used for view payloads.
+
+F-IVM parameterizes the whole maintenance machinery by a commutative ring
+``(R, +, *, 0, 1)``: view payloads are ring values, joins multiply payloads,
+marginalization adds them, and deletes are handled through additive inverses
+(Section 2 of the paper). A :class:`Ring` object bundles the operations and
+treats the payload values themselves as opaque — plain ``int`` for the Z
+ring, ``float`` for the numeric ring, richer objects for the cofactor rings.
+
+Keeping operations on a ring *object* (rather than requiring payloads to be
+instances of some value class) lets the hot loops of the engine work on
+unboxed Python ints in the common counting case.
+
+Semirings without additive inverses (:class:`~repro.rings.boolean.BoolRing`,
+:class:`~repro.rings.minplus.MinPlusRing`) implement the same interface but
+raise :class:`~repro.errors.RingError` from :meth:`Ring.neg`; they support
+insert-only maintenance.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+from repro.errors import RingError
+
+__all__ = ["Ring", "check_ring_axioms"]
+
+
+class Ring(ABC):
+    """Interface of a commutative ring over opaque payload values.
+
+    Subclasses must implement :meth:`zero`, :meth:`one`, :meth:`add`,
+    :meth:`mul` and :meth:`neg`. The remaining operations have generic
+    default implementations that subclasses may override for speed.
+
+    Values returned by :meth:`zero` and :meth:`one` must be safe to share:
+    either immutable, or fresh objects on every call.
+    """
+
+    #: Human-readable name used in reprs, plans and M3 output.
+    name: str = "ring"
+
+    #: Whether :meth:`neg` is supported (False for the bool/min-plus semirings).
+    has_negation: bool = True
+
+    @abstractmethod
+    def zero(self) -> Any:
+        """Return the additive identity."""
+
+    @abstractmethod
+    def one(self) -> Any:
+        """Return the multiplicative identity."""
+
+    @abstractmethod
+    def add(self, a: Any, b: Any) -> Any:
+        """Return ``a + b``. Must not mutate either argument."""
+
+    @abstractmethod
+    def mul(self, a: Any, b: Any) -> Any:
+        """Return ``a * b``. Must not mutate either argument."""
+
+    @abstractmethod
+    def neg(self, a: Any) -> Any:
+        """Return the additive inverse ``-a``.
+
+        Semirings raise :class:`~repro.errors.RingError`.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived operations (override for performance where it matters).
+    # ------------------------------------------------------------------
+
+    def sub(self, a: Any, b: Any) -> Any:
+        """Return ``a - b``."""
+        return self.add(a, self.neg(b))
+
+    def add_inplace(self, a: Any, b: Any) -> Any:
+        """Accumulate ``b`` into ``a`` and return the result.
+
+        May mutate ``a`` (the caller must own it); the default delegates to
+        the pure :meth:`add`. Engines use this in marginalization loops.
+        """
+        return self.add(a, b)
+
+    def eq(self, a: Any, b: Any) -> bool:
+        """Return whether two payloads are equal as ring values."""
+        return a == b
+
+    def is_zero(self, a: Any) -> bool:
+        """Return whether ``a`` equals the additive identity.
+
+        Engines prune zero payloads from views so that deletes physically
+        remove tuples.
+        """
+        return self.eq(a, self.zero())
+
+    def from_int(self, n: int) -> Any:
+        """Image of the integer ``n`` under the canonical map ``Z -> R``.
+
+        Used to turn tuple multiplicities into ring values. The default
+        computes ``n * 1`` through :meth:`scale`.
+        """
+        return self.scale(self.one(), n)
+
+    def scale(self, a: Any, n: int) -> Any:
+        """Return ``a`` added to itself ``n`` times (``n`` may be negative).
+
+        This is the action of ``Z`` on the ring; base-relation multiplicities
+        enter payload space through it. The default uses binary doubling.
+        """
+        if n == 0:
+            return self.zero()
+        if n < 0:
+            return self.neg(self.scale(a, -n))
+        result = self.zero()
+        addend = a
+        while n:
+            if n & 1:
+                result = self.add(result, addend)
+            n >>= 1
+            if n:
+                addend = self.add(addend, addend)
+        return result
+
+    def sum(self, values: Iterable[Any]) -> Any:
+        """Sum an iterable of payloads (returns :meth:`zero` when empty)."""
+        total = self.zero()
+        for value in values:
+            total = self.add_inplace(total, value)
+        return total
+
+    def prod(self, values: Iterable[Any]) -> Any:
+        """Multiply an iterable of payloads (returns :meth:`one` when empty)."""
+        total = self.one()
+        for value in values:
+            total = self.mul(total, value)
+        return total
+
+    def copy(self, a: Any) -> Any:
+        """Return a value the caller may mutate via :meth:`add_inplace`.
+
+        Rings with immutable payloads (ints, floats) return ``a`` itself.
+        """
+        return a
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def check_ring_axioms(ring: Ring, a: Any, b: Any, c: Any) -> None:
+    """Assert the commutative-ring axioms on a sample of three values.
+
+    Used by the hypothesis test-suite: raises :class:`RingError` naming the
+    violated axiom. For semirings (``has_negation=False``) the inverse axiom
+    is skipped.
+    """
+    eq = ring.eq
+    zero, one = ring.zero(), ring.one()
+    checks = [
+        ("add associativity", ring.add(ring.add(a, b), c), ring.add(a, ring.add(b, c))),
+        ("add commutativity", ring.add(a, b), ring.add(b, a)),
+        ("add identity", ring.add(a, zero), a),
+        ("mul associativity", ring.mul(ring.mul(a, b), c), ring.mul(a, ring.mul(b, c))),
+        ("mul commutativity", ring.mul(a, b), ring.mul(b, a)),
+        ("mul identity", ring.mul(a, one), a),
+        ("mul zero annihilates", ring.mul(a, zero), zero),
+        (
+            "distributivity",
+            ring.mul(a, ring.add(b, c)),
+            ring.add(ring.mul(a, b), ring.mul(a, c)),
+        ),
+    ]
+    if ring.has_negation:
+        checks.append(("additive inverse", ring.add(a, ring.neg(a)), zero))
+    for axiom, left, right in checks:
+        if not eq(left, right):
+            raise RingError(
+                f"{ring.name}: axiom {axiom!r} violated: {left!r} != {right!r}"
+            )

@@ -1,0 +1,16 @@
+"""View trees: construction (τ), M3 rendering and DOT export."""
+
+from repro.viewtree.builder import ViewTree, build_view_tree
+from repro.viewtree.dot import render_tree_dot
+from repro.viewtree.m3 import render_tree_m3, render_view_m3, ring_type_name
+from repro.viewtree.node import View
+
+__all__ = [
+    "View",
+    "ViewTree",
+    "build_view_tree",
+    "render_tree_m3",
+    "render_view_m3",
+    "render_tree_dot",
+    "ring_type_name",
+]

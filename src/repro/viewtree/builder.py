@@ -1,0 +1,186 @@
+"""View-tree construction (the paper's τ mapping).
+
+Given a query, a valid variable order and a payload plan, build the tree
+of views: one leaf view per base relation (lift + aggregate its local
+attributes), one inner view per variable (join children, marginalize the
+variable through its lifting function). The root view is keyed by the free
+variables and holds the query result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.query.planner import plan_variable_order
+from repro.query.query import Query
+from repro.query.variable_order import VONode, VariableOrder
+from repro.rings.specs import PayloadPlan
+from repro.viewtree.node import View
+
+__all__ = ["ViewTree", "build_view_tree"]
+
+
+@dataclass
+class ViewTree:
+    """The constructed tree plus the indexes engines need."""
+
+    query: Query
+    order: VariableOrder
+    plan: PayloadPlan
+    root: View
+    views: Dict[str, View] = field(default_factory=dict)
+    leaf_of: Dict[str, View] = field(default_factory=dict)
+    parent: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def path_to_root(self, relation_name: str) -> Tuple[View, ...]:
+        """Views from the relation's leaf up to (and including) the root."""
+        try:
+            view = self.leaf_of[relation_name]
+        except KeyError:
+            raise QueryError(
+                f"relation {relation_name!r} has no leaf view in this tree"
+            ) from None
+        path = [view]
+        while True:
+            parent_name = self.parent[path[-1].name]
+            if parent_name is None:
+                break
+            path.append(self.views[parent_name])
+        return tuple(path)
+
+    def all_views(self) -> Tuple[View, ...]:
+        """Views in bottom-up (children before parents) order."""
+        ordered: List[View] = []
+
+        def visit(view: View) -> None:
+            for child in view.children:
+                visit(child)
+            ordered.append(view)
+
+        visit(self.root)
+        return tuple(ordered)
+
+    def render(self) -> str:
+        """ASCII tree, root at the top (cf. the Maintenance Strategy tab)."""
+        lines: List[str] = []
+
+        def visit(view: View, depth: int) -> None:
+            lines.append("  " * depth + view.describe())
+            for child in view.children:
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+
+def build_view_tree(
+    query: Query,
+    order: Optional[VariableOrder] = None,
+    plan: Optional[PayloadPlan] = None,
+) -> ViewTree:
+    """Construct the view tree for ``query`` along ``order``.
+
+    ``order`` defaults to the greedy planner's choice; ``plan`` defaults to
+    building the query's payload spec. The order is validated first.
+    """
+    if order is None:
+        order = plan_variable_order(query)
+    order.validate(query)
+    if plan is None:
+        plan = query.build_plan()
+    variables = set(order.variables)
+    free = set(query.free)
+    for attr in free:
+        if attr in plan.lifts:
+            raise QueryError(
+                f"free variable {attr!r} cannot be lifted: group-by attributes "
+                "stay keys (group inside the ring instead, as the demo does)"
+            )
+    for attr in plan.lifts:
+        if attr not in query.attributes:
+            raise QueryError(f"lifted attribute {attr!r} not in query")
+
+    def leaf_view(relation_name: str) -> View:
+        schema = query.schema_of(relation_name)
+        key = tuple(attr for attr in schema.attributes if attr in variables)
+        local = tuple(attr for attr in schema.attributes if attr not in variables)
+        lifted = tuple(attr for attr in local if attr in plan.lifts)
+        return View(
+            name=f"V_{relation_name}",
+            key=key,
+            relation=relation_name,
+            lifted=lifted,
+            marginalized=local,
+        )
+
+    def inner_view(node: VONode) -> View:
+        children: List[View] = [leaf_view(name) for name in node.relations]
+        children.extend(inner_view(child) for child in node.children)
+        if not children:
+            raise QueryError(
+                f"variable {node.variable!r} has neither relations nor children"
+            )
+        variable = node.variable
+        is_free = variable in free
+        dep = order.dependency_set(query, variable)
+        carried = tuple(
+            v for v in order.free_below(query, variable) if v != variable
+        )
+        if is_free:
+            key = dep + (variable,) + carried
+            lifted: Tuple[str, ...] = ()
+            marginalized: Tuple[str, ...] = ()
+        else:
+            key = dep + carried
+            lifted = (variable,) if variable in plan.lifts else ()
+            marginalized = (variable,)
+        return View(
+            name=f"V@{variable}",
+            key=key,
+            variable=variable,
+            children=tuple(children),
+            lifted=lifted,
+            marginalized=marginalized,
+            is_free=is_free,
+        )
+
+    top_views: List[View] = [inner_view(root) for root in order.roots]
+    top_views.extend(leaf_view(name) for name in order.root_relations)
+    if not top_views:
+        raise QueryError(f"query {query.name!r} produced an empty view tree")
+    if len(top_views) == 1 and top_views[0].key == tuple(query.free):
+        root = top_views[0]
+    else:
+        # Virtual root: joins the forest's top views (cartesian across
+        # disconnected components) and exposes exactly the free variables.
+        root = View(
+            name=f"V_{query.name}",
+            key=tuple(query.free),
+            children=tuple(top_views),
+            marginalized=tuple(
+                attr
+                for view in top_views
+                for attr in view.key
+                if attr not in free
+            ),
+        )
+
+    tree = ViewTree(query=query, order=order, plan=plan, root=root)
+
+    def index(view: View, parent_name: Optional[str]) -> None:
+        if view.name in tree.views:
+            raise QueryError(f"duplicate view name {view.name!r}")
+        tree.views[view.name] = view
+        tree.parent[view.name] = parent_name
+        if view.relation is not None:
+            tree.leaf_of[view.relation] = view
+        for child in view.children:
+            index(child, view.name)
+
+    index(root, None)
+    missing = set(query.relation_names) - set(tree.leaf_of)
+    if missing:
+        raise QueryError(f"relations without leaf views: {sorted(missing)}")
+    return tree

@@ -1,0 +1,39 @@
+"""Graphviz DOT rendering of view trees (for docs and the demo tab)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.viewtree.builder import ViewTree
+from repro.viewtree.node import View
+
+__all__ = ["render_tree_dot"]
+
+
+def render_tree_dot(tree: ViewTree) -> str:
+    """A ``digraph`` with views as boxes and base relations as ellipses."""
+    lines: List[str] = [
+        "digraph viewtree {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+
+    def node_id(view: View) -> str:
+        return view.name.replace("@", "_")
+
+    def visit(view: View) -> None:
+        label = f"{view.name}[{', '.join(view.key)}]"
+        lines.append(f'  {node_id(view)} [label="{label}"];')
+        if view.is_leaf:
+            schema = tree.query.schema_of(view.relation)
+            rel_id = f"rel_{view.relation}"
+            rel_label = f"{view.relation}({', '.join(schema.attributes)})"
+            lines.append(f'  {rel_id} [label="{rel_label}", shape=ellipse];')
+            lines.append(f"  {rel_id} -> {node_id(view)};")
+        for child in view.children:
+            visit(child)
+            lines.append(f"  {node_id(child)} -> {node_id(view)};")
+
+    visit(tree.root)
+    lines.append("}")
+    return "\n".join(lines)

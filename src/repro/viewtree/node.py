@@ -1,0 +1,78 @@
+"""View definitions: the nodes of F-IVM's view tree.
+
+A :class:`View` is a group-by aggregate over the join of its children
+(Section 1: "each view defined by the join of its children possibly
+followed by projecting away attributes"). Leaf views aggregate a base
+relation directly — converting integer multiplicities into ring payloads
+and lifting/aggregating the relation's non-variable attributes. Inner
+views join their children and marginalize one variable (unless it is
+free, in which case it stays a key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["View"]
+
+
+@dataclass
+class View:
+    """One view of the tree.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``V@ksn`` or ``V_Inventory``.
+    key:
+        Group-by attributes (the view's key schema).
+    relation:
+        For leaf views, the base relation aggregated; ``None`` for inner
+        views.
+    variable:
+        For inner views, the variable owned by this node; marginalized
+        here unless free.
+    children:
+        Child views joined by this view (empty for leaves).
+    lifted:
+        Attributes whose lifting functions apply at this view: the
+        relation's local payload attributes for a leaf, ``(variable,)``
+        for an inner node whose variable is lifted.
+    marginalized:
+        Attributes aggregated away at this view.
+    is_free:
+        Whether ``variable`` is a free (group-by) variable.
+    """
+
+    name: str
+    key: Tuple[str, ...]
+    relation: Optional[str] = None
+    variable: Optional[str] = None
+    children: Tuple["View", ...] = ()
+    lifted: Tuple[str, ...] = ()
+    marginalized: Tuple[str, ...] = ()
+    is_free: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.relation is not None
+
+    def describe(self) -> str:
+        """One-line summary used by plans and the maintenance-strategy app."""
+        keys = ", ".join(self.key)
+        if self.is_leaf:
+            body = self.relation
+            if self.lifted:
+                body += " lifting (" + ", ".join(self.lifted) + ")"
+        else:
+            body = " ⋈ ".join(child.name for child in self.children)
+            if self.variable is not None and not self.is_free:
+                prefix = f"Σ_{self.variable} "
+                if self.variable in self.lifted:
+                    prefix = f"Σ_{self.variable} g_{self.variable}·"
+                body = prefix + body
+        return f"{self.name}[{keys}] = {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<View {self.name}[{', '.join(self.key)}]>"

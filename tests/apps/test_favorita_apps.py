@@ -1,0 +1,111 @@
+"""The demo tabs on the Favorita database (second demo dataset)."""
+
+import pytest
+
+from repro.apps import ChowLiuApp, ModelSelectionApp, RegressionApp
+from repro.datasets import (
+    FAVORITA_SCHEMAS,
+    FavoritaConfig,
+    UpdateStream,
+    favorita_regression_features,
+    favorita_row_factories,
+    favorita_variable_order,
+    generate_favorita,
+)
+from repro.engine import NaiveEngine
+from repro.ml.discretize import binning_for_attribute
+from repro.rings import Feature
+
+CONFIG = FavoritaConfig(stores=6, dates=15, items=25, sales_rows=400, seed=19)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_favorita(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def mi_features(db):
+    sales = db.relation("Sales")
+    oil = db.relation("Oil")
+    return (
+        Feature.categorical("onpromotion"),
+        Feature.categorical("family"),
+        Feature.categorical("holidaytype"),
+        Feature("oilprize", "continuous", binning_for_attribute(oil, "oilprize", 5)),
+        Feature(
+            "unitsales", "continuous", binning_for_attribute(sales, "unitsales", 6)
+        ),
+    )
+
+
+def stream_for(app):
+    return UpdateStream(
+        app.session.database,
+        favorita_row_factories(CONFIG, app.session.database),
+        targets=("Sales",),
+        batch_size=100,
+        insert_ratio=0.7,
+        seed=3,
+    )
+
+
+class TestModelSelection:
+    def test_planted_signals_have_positive_mi(self, db, mi_features):
+        # Every MI feature is a planted signal in the Favorita generator
+        # (promotion +6 units, holidays +4, family and oil price smaller),
+        # so all must carry measurable MI with the label.
+        app = ModelSelectionApp(
+            db,
+            FAVORITA_SCHEMAS,
+            mi_features,
+            label="unitsales",
+            threshold=0.01,
+            order=favorita_variable_order(),
+        )
+        ranking = dict(app.ranking().ranked)
+        assert ranking["onpromotion"] > 0.02
+        assert all(mi > 0 for mi in ranking.values())
+
+    def test_survives_bulk(self, db, mi_features):
+        app = ModelSelectionApp(
+            db,
+            FAVORITA_SCHEMAS,
+            mi_features,
+            label="unitsales",
+            order=favorita_variable_order(),
+        )
+        report = app.process_bulk(stream_for(app).batches(3))
+        assert report.updates > 0
+        assert len(app.ranking().ranked) == 4
+
+
+class TestRegression:
+    def test_promotion_lifts_prediction(self, db):
+        features, label = favorita_regression_features()
+        app = RegressionApp(
+            db, FAVORITA_SCHEMAS, features, label, order=favorita_variable_order()
+        )
+        model = app.refresh_model()
+        base = {"onpromotion": 0, "family": 1, "oilprize": 45.0, "holidaytype": 0}
+        promoted = dict(base, onpromotion=1)
+        assert model.predict(promoted) > model.predict(base)
+
+    def test_consistent_with_naive_after_bulk(self, db):
+        features, label = favorita_regression_features()
+        app = RegressionApp(
+            db, FAVORITA_SCHEMAS, features, label, order=favorita_variable_order()
+        )
+        app.process_bulk(stream_for(app).batches(3))
+        naive = NaiveEngine(app.session.query, order=favorita_variable_order())
+        naive.initialize(app.session.database)
+        assert app.session.result().close_to(naive.result(), 1e-6)
+
+
+class TestChowLiu:
+    def test_spanning_tree(self, db, mi_features):
+        app = ChowLiuApp(
+            db, FAVORITA_SCHEMAS, mi_features, order=favorita_variable_order()
+        )
+        tree = app.tree()
+        assert len(tree.edges) == len(mi_features) - 1

@@ -1,0 +1,76 @@
+"""Maintenance sessions: processing bulks, reports, consistency."""
+
+import pytest
+
+from repro.apps import MaintenanceSession
+from repro.data import RelationSchema, inserts
+from repro.datasets import toy_count_query, toy_database, toy_variable_order
+from repro.engine import FirstOrderEngine, NaiveEngine
+from repro.errors import EngineError
+from repro.query import Query
+from repro.rings import CountSpec
+
+
+@pytest.fixture
+def session():
+    return MaintenanceSession(
+        toy_database(), toy_count_query(), order=toy_variable_order()
+    )
+
+
+class TestSession:
+    def test_initial_result(self, session):
+        assert session.root_payload() == 3
+
+    def test_process_updates_engine_and_database(self, session):
+        report = session.process(
+            [("R", inserts(("A", "B"), [("a1", 1)]))]
+        )
+        assert report.batches == 1
+        assert report.updates == 1
+        assert session.root_payload() == 5
+        assert session.database.relation("R").data[("a1", 1)] == 2
+
+    def test_database_copy_at_construction(self):
+        db = toy_database()
+        session = MaintenanceSession(db, toy_count_query(), order=toy_variable_order())
+        session.process([("R", inserts(("A", "B"), [("a9", 9)]))])
+        assert ("a9", 9) not in db.relation("R").data
+
+    def test_report_throughput(self, session):
+        report = session.process(
+            [("R", inserts(("A", "B"), [("a1", 1)]))]
+        )
+        assert report.throughput > 0
+
+    def test_empty_bulk(self, session):
+        report = session.process([])
+        assert report.batches == 0
+        assert report.updates == 0
+
+    def test_bulks_counted(self, session):
+        session.process([])
+        session.process([])
+        assert session.bulks_processed == 2
+
+    def test_alternative_engine_factory(self):
+        for factory in (FirstOrderEngine, NaiveEngine):
+            session = MaintenanceSession(
+                toy_database(),
+                toy_count_query(),
+                order=toy_variable_order(),
+                engine_factory=factory,
+            )
+            assert session.root_payload() == 3
+
+    def test_root_payload_requires_empty_key(self):
+        query = Query(
+            "Q",
+            (RelationSchema("R", ("A", "B")), RelationSchema("S", ("A", "C", "D"))),
+            spec=CountSpec(),
+            free=("A",),
+        )
+        session = MaintenanceSession(toy_database(), query)
+        with pytest.raises(EngineError):
+            session.root_payload()
+        assert session.result().payload(("a1",)) == 2

@@ -1,0 +1,84 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import hypothesis
+import pytest
+from hypothesis import strategies as st
+
+from repro.data import Database, Relation
+from repro.datasets import (
+    RetailerConfig,
+    generate_retailer,
+    retailer_variable_order,
+    toy_database,
+)
+
+hypothesis.settings.register_profile(
+    "fivm",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[hypothesis.HealthCheck.too_slow],
+)
+hypothesis.settings.load_profile("fivm")
+
+
+# ----------------------------------------------------------------------
+# Databases
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def toy_db() -> Database:
+    return toy_database()
+
+
+@pytest.fixture(scope="session")
+def small_retailer_config() -> RetailerConfig:
+    return RetailerConfig(locations=6, dates=10, items=30, inventory_rows=400, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_retailer_db(small_retailer_config) -> Database:
+    return generate_retailer(small_retailer_config)
+
+
+@pytest.fixture
+def retailer_order():
+    return retailer_variable_order()
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies (integer-valued to keep float arithmetic exact)
+# ----------------------------------------------------------------------
+
+small_ints = st.integers(min_value=-6, max_value=6)
+small_nonneg = st.integers(min_value=0, max_value=6)
+tiny_floats = st.integers(min_value=-5, max_value=5).map(float)
+
+
+def rows_strategy(arity: int, domain: int = 4, max_rows: int = 8):
+    """Random rows over a small integer domain."""
+    row = st.tuples(*[st.integers(min_value=0, max_value=domain - 1)] * arity)
+    return st.lists(row, max_size=max_rows)
+
+
+def z_relation_strategy(schema, domain: int = 4, max_rows: int = 8):
+    """Random Z-relations (possibly with signed multiplicities)."""
+
+    def build(entries):
+        relation = Relation(schema)
+        for key, multiplicity in entries:
+            if multiplicity:
+                relation.data[key] = (
+                    relation.data.get(key, 0) + multiplicity
+                )
+                if relation.data[key] == 0:
+                    del relation.data[key]
+        return relation
+
+    key = st.tuples(
+        *[st.integers(min_value=0, max_value=domain - 1)] * len(schema)
+    )
+    entry = st.tuples(key, st.integers(min_value=-2, max_value=3))
+    return st.lists(entry, max_size=max_rows).map(build)

@@ -1,0 +1,72 @@
+"""CSV import/export round-trips."""
+
+import pytest
+
+from repro.data import Relation
+from repro.data.csvio import load_database_dir, load_relation, save_relation
+from repro.errors import DataError
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_tuples(
+        ("A", "B"), [("a1", 1), ("a1", 1), ("a2", 2)], name="R"
+    )
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(relation, path)
+        loaded = load_relation(path, ("A", "B"), types=[str, int], name="R")
+        assert loaded == relation
+
+    def test_header_written(self, relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(relation, path)
+        assert path.read_text().splitlines()[0] == "A,B"
+
+    def test_negative_multiplicity_rejected_on_save(self, tmp_path):
+        with pytest.raises(DataError):
+            save_relation(
+                Relation(("A",), data={("x",): -1}), tmp_path / "bad.csv"
+            )
+
+
+class TestLoad:
+    def test_type_conversion_error(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\nx,notanint\n")
+        with pytest.raises(DataError):
+            load_relation(path, ("A", "B"), types=[str, int])
+
+    def test_field_count_mismatch(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\nx\n")
+        with pytest.raises(DataError):
+            load_relation(path, ("A", "B"))
+
+    def test_wrong_converter_count(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\nx,1\n")
+        with pytest.raises(DataError):
+            load_relation(path, ("A", "B"), types=[str])
+
+    def test_no_header_mode(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("x,1\nx,1\n")
+        loaded = load_relation(path, ("A", "B"), types=[str, int], header=False)
+        assert loaded.data == {("x", 1): 2}
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\nx,1\n\n")
+        loaded = load_relation(path, ("A", "B"), types=[str, int])
+        assert loaded.data == {("x", 1): 1}
+
+    def test_load_database_dir(self, relation, tmp_path):
+        save_relation(relation, tmp_path / "R.csv")
+        loaded = load_database_dir(
+            tmp_path, {"R": ("A", "B")}, {"R": [str, int]}
+        )
+        assert loaded["R"] == relation

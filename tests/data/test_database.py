@@ -1,0 +1,71 @@
+"""Databases and delta application."""
+
+import pytest
+
+from repro.data import Database, Relation, deletes, inserts
+from repro.errors import DataError, SchemaError
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [
+            Relation.from_tuples(("A", "B"), [("a1", 1)], name="R"),
+            Relation.from_tuples(("A", "C"), [("a1", 2)], name="S"),
+        ]
+    )
+
+
+class TestDatabase:
+    def test_lookup(self, db):
+        assert db.relation("R").schema == ("A", "B")
+        assert "S" in db
+        assert len(db) == 2
+        with pytest.raises(SchemaError):
+            db.relation("T")
+
+    def test_unnamed_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Database([Relation(("A",))])
+
+    def test_duplicate_name_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.add(Relation(("X",), name="R"))
+
+    def test_from_dict_names_relations(self):
+        db = Database.from_dict({"R": Relation(("A",))})
+        assert db.relation("R").name == "R"
+
+    def test_from_dict_name_conflict(self):
+        with pytest.raises(SchemaError):
+            Database.from_dict({"R": Relation(("A",), name="S")})
+
+    def test_schema_property(self, db):
+        schema = db.schema
+        assert schema.schema("R").attributes == ("A", "B")
+
+    def test_copy_independent(self, db):
+        clone = db.copy()
+        clone.relation("R").data[("a9", 9)] = 1
+        assert ("a9", 9) not in db.relation("R").data
+
+    def test_total_tuples(self, db):
+        assert db.total_tuples() == 2
+
+
+class TestApply:
+    def test_insert(self, db):
+        db.apply("R", inserts(("A", "B"), [("a2", 5)]))
+        assert db.relation("R").data[("a2", 5)] == 1
+
+    def test_delete(self, db):
+        db.apply("R", deletes(("A", "B"), [("a1", 1)]))
+        assert ("a1", 1) not in db.relation("R").data
+
+    def test_schema_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            db.apply("R", inserts(("A", "C"), [("a2", 5)]))
+
+    def test_overdelete_detected(self, db):
+        with pytest.raises(DataError):
+            db.apply("R", deletes(("A", "B"), [("a1", 1), ("a1", 1)]))

@@ -1,0 +1,27 @@
+"""Delta construction helpers."""
+
+from repro.data import delta_of, deletes, inserts, split_delta
+
+
+class TestInsertsDeletes:
+    def test_inserts_accumulate(self):
+        delta = inserts(("A",), [("x",), ("x",), ("y",)])
+        assert delta.data == {("x",): 2, ("y",): 1}
+
+    def test_deletes_are_negative(self):
+        delta = deletes(("A",), [("x",)])
+        assert delta.data == {("x",): -1}
+
+    def test_mixed_delta_cancels(self):
+        delta = delta_of(("A",), inserted=[("x",), ("y",)], deleted=[("x",)])
+        assert delta.data == {("y",): 1}
+
+    def test_split_delta(self):
+        delta = delta_of(("A",), inserted=[("x",), ("x",)], deleted=[("y",)])
+        ins, dels = split_delta(delta)
+        assert ins.data == {("x",): 2}
+        assert dels.data == {("y",): 1}
+
+    def test_split_empty(self):
+        ins, dels = split_delta(inserts(("A",), []))
+        assert not ins.data and not dels.data

@@ -1,0 +1,59 @@
+"""Relation and database schemas."""
+
+import pytest
+
+from repro.data import DatabaseSchema, RelationSchema
+from repro.errors import SchemaError
+
+
+class TestRelationSchema:
+    def test_basics(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert schema.arity == 2
+        assert schema.position("B") == 1
+        assert "A" in schema
+        assert list(schema) == ["A", "B"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("A",))
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_unknown_position(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A",)).position("Z")
+
+
+class TestDatabaseSchema:
+    def setup_method(self):
+        self.db = DatabaseSchema.of(
+            [RelationSchema("R", ("A", "B")), RelationSchema("S", ("A", "C"))]
+        )
+
+    def test_lookup(self):
+        assert self.db.schema("R").attributes == ("A", "B")
+        assert "S" in self.db
+        with pytest.raises(SchemaError):
+            self.db.schema("T")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            self.db.add(RelationSchema("R", ("X",)))
+
+    def test_attributes_first_seen_order(self):
+        assert self.db.attributes == ("A", "B", "C")
+
+    def test_relations_with(self):
+        assert self.db.relations_with("A") == ("R", "S")
+        assert self.db.relations_with("C") == ("S",)
+        assert self.db.relations_with("Z") == ()
+
+    def test_iteration(self):
+        assert [schema.name for schema in self.db] == ["R", "S"]

@@ -1,0 +1,119 @@
+"""Update streams: determinism, delete safety, bulks."""
+
+import pytest
+
+from repro.data import Database, Relation
+from repro.datasets import UpdateStream
+from repro.errors import DataError
+
+
+def tiny_db():
+    return Database(
+        [
+            Relation.from_tuples(("A", "B"), [(i, i % 3) for i in range(20)], name="R"),
+            Relation.from_tuples(("A", "C"), [(i, i % 2) for i in range(10)], name="S"),
+        ]
+    )
+
+
+def factory(rng):
+    return (int(rng.integers(0, 50)), int(rng.integers(0, 3)))
+
+
+class TestStream:
+    def test_deterministic(self):
+        def collect():
+            stream = UpdateStream(
+                tiny_db(), {"R": factory}, batch_size=5, insert_ratio=0.5, seed=7
+            )
+            return [(name, dict(delta.data)) for name, delta in stream.batches(6)]
+
+        assert collect() == collect()
+
+    def test_round_robin_targets(self):
+        stream = UpdateStream(
+            tiny_db(),
+            {"R": factory, "S": factory},
+            batch_size=3,
+            seed=1,
+        )
+        names = [name for name, _ in stream.batches(4)]
+        assert names == ["R", "S", "R", "S"]
+
+    def test_shadow_never_goes_negative(self):
+        stream = UpdateStream(
+            tiny_db(), {"R": factory}, batch_size=10, insert_ratio=0.2, seed=3
+        )
+        for _name, _delta in stream.batches(20):
+            for multiplicity in stream.shadow.relation("R").data.values():
+                assert multiplicity > 0
+
+    def test_original_database_untouched(self):
+        db = tiny_db()
+        before = dict(db.relation("R").data)
+        stream = UpdateStream(db, {"R": factory}, batch_size=5, seed=0)
+        list(stream.batches(5))
+        assert db.relation("R").data == before
+
+    def test_insert_only_stream(self):
+        stream = UpdateStream(
+            tiny_db(), {"R": factory}, batch_size=8, insert_ratio=1.0, seed=2
+        )
+        _, delta = stream.next_batch()
+        assert all(m > 0 for m in delta.data.values())
+
+    def test_delete_only_stream_drains(self):
+        db = tiny_db()
+        stream = UpdateStream(
+            db, {}, targets=("R",), batch_size=50, insert_ratio=0.0, seed=2
+        )
+        _, delta = stream.next_batch()
+        assert all(m < 0 for m in delta.data.values())
+        assert len(stream.shadow.relation("R")) == 0
+        # Exhausted relation without factory: empty batches from now on.
+        _, empty = stream.next_batch()
+        assert not empty.data
+
+    def test_batch_size_updates(self):
+        stream = UpdateStream(
+            tiny_db(), {"R": factory}, batch_size=12, insert_ratio=1.0, seed=5
+        )
+        _, delta = stream.next_batch()
+        assert sum(delta.data.values()) == 12
+
+    def test_bulk_emits_requested_updates(self):
+        stream = UpdateStream(
+            tiny_db(), {"R": factory}, batch_size=10, insert_ratio=0.9, seed=5
+        )
+        total = sum(
+            sum(abs(m) for m in delta.data.values())
+            for _name, delta in stream.bulk(35)
+        )
+        assert total >= 35
+
+
+class TestValidation:
+    def test_bad_batch_size(self):
+        with pytest.raises(DataError):
+            UpdateStream(tiny_db(), {"R": factory}, batch_size=0)
+
+    def test_bad_ratio(self):
+        with pytest.raises(DataError):
+            UpdateStream(tiny_db(), {"R": factory}, insert_ratio=1.5)
+
+    def test_no_targets(self):
+        with pytest.raises(DataError):
+            UpdateStream(tiny_db(), {})
+
+    def test_unknown_target(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            UpdateStream(tiny_db(), {"Nope": factory})
+
+    def test_bad_factory_arity(self):
+        stream = UpdateStream(
+            tiny_db(), {"R": lambda rng: (1, 2, 3)}, batch_size=1, seed=0
+        )
+        with pytest.raises(DataError):
+            stream.next_batch()

@@ -1,0 +1,91 @@
+"""Engine checkpointing and memory accounting."""
+
+import pickle
+
+import pytest
+
+from repro.data import inserts
+from repro.datasets import (
+    toy_count_query,
+    toy_covar_categorical_query,
+    toy_database,
+    toy_variable_order,
+)
+from repro.engine import FIVMEngine
+from repro.errors import EngineError
+
+
+def fresh_engine(query=None):
+    engine = FIVMEngine(query or toy_count_query(), order=toy_variable_order())
+    engine.initialize(toy_database())
+    return engine
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_result(self):
+        engine = fresh_engine()
+        engine.apply("R", inserts(("A", "B"), [("a1", 1)]))
+        snapshot = engine.export_state()
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        clone.import_state(snapshot)
+        assert clone.result() == engine.result()
+
+    def test_restored_engine_keeps_maintaining(self):
+        engine = fresh_engine()
+        snapshot = engine.export_state()
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        clone.import_state(snapshot)
+        delta = inserts(("A", "B"), [("a1", 1)])
+        engine.apply("R", delta)
+        clone.apply("R", delta)
+        assert clone.result() == engine.result()
+
+    def test_snapshot_is_picklable(self):
+        engine = fresh_engine(toy_covar_categorical_query())
+        snapshot = pickle.loads(pickle.dumps(engine.export_state()))
+        clone = FIVMEngine(
+            toy_covar_categorical_query(), order=toy_variable_order()
+        )
+        clone.import_state(snapshot)
+        assert clone.result().close_to(engine.result(), 1e-12)
+
+    def test_snapshot_isolated_from_source(self):
+        engine = fresh_engine()
+        snapshot = engine.export_state()
+        engine.apply("R", inserts(("A", "B"), [("a9", 9)]))
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        clone.import_state(snapshot)
+        assert clone.view("V_R").payload(("a9",)) == 0
+
+    def test_mismatched_snapshot_rejected(self):
+        engine = fresh_engine()
+        snapshot = engine.export_state()
+        snapshot["views"]["V_extra"] = {}
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        with pytest.raises(EngineError):
+            clone.import_state(snapshot)
+
+    def test_export_before_initialize_rejected(self):
+        engine = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        with pytest.raises(EngineError):
+            engine.export_state()
+
+
+class TestMemoryReport:
+    def test_count_ring_weights(self):
+        engine = fresh_engine()
+        report = engine.memory_report()
+        assert report["V_R"] == {"entries": 2, "payload_weight": 2}
+        assert report["V@A"]["entries"] == 1
+
+    def test_relational_cofactor_weights_count_annotations(self):
+        engine = fresh_engine(toy_covar_categorical_query())
+        report = engine.memory_report()
+        root = report["V@A"]
+        # one key, but the payload fans out into count + s entries + Q cells
+        assert root["entries"] == 1
+        assert root["payload_weight"] > 5
+
+    def test_covers_every_view(self):
+        engine = fresh_engine()
+        assert set(engine.memory_report()) == {"V_R", "V_S", "V@A"}

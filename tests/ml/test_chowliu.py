@@ -1,0 +1,124 @@
+"""Chow-Liu trees: optimality, determinism, structure."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import FIVMError
+from repro.ml import chow_liu_tree
+from repro.ml.mi import MIMatrix
+
+
+def matrix(attrs, entries):
+    m = len(attrs)
+    values = np.zeros((m, m))
+    for (i, j), w in entries.items():
+        values[i, j] = w
+        values[j, i] = w
+    return MIMatrix(attributes=tuple(attrs), values=values)
+
+
+def brute_force_best_weight(mi):
+    """Max total weight over all spanning trees (Prüfer enumeration is
+    overkill at this scale; enumerate edge subsets)."""
+    attrs = mi.attributes
+    m = len(attrs)
+    edges = [
+        (i, j, mi.values[i, j]) for i in range(m) for j in range(i + 1, m)
+    ]
+    best = -1.0
+    for subset in itertools.combinations(edges, m - 1):
+        # connectivity check via union-find
+        parent = list(range(m))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        ok = True
+        for i, j, _ in subset:
+            ri, rj = find(i), find(j)
+            if ri == rj:
+                ok = False
+                break
+            parent[ri] = rj
+        if ok:
+            best = max(best, sum(w for _, _, w in subset))
+    return best
+
+
+class TestOptimality:
+    def test_matches_brute_force_on_random_matrices(self):
+        rng = np.random.default_rng(23)
+        for trial in range(5):
+            m = 5
+            sym = rng.random((m, m))
+            sym = (sym + sym.T) / 2
+            np.fill_diagonal(sym, 1.0)
+            mi = MIMatrix(
+                attributes=tuple(f"X{i}" for i in range(m)), values=sym
+            )
+            tree = chow_liu_tree(mi)
+            assert tree.total_weight == pytest.approx(brute_force_best_weight(mi))
+
+    def test_simple_chain(self):
+        mi = matrix(
+            ("A", "B", "C"),
+            {(0, 1): 0.9, (1, 2): 0.8, (0, 2): 0.1},
+        )
+        tree = chow_liu_tree(mi)
+        edge_sets = {frozenset((u, v)) for u, v, _ in tree.edges}
+        assert edge_sets == {frozenset(("A", "B")), frozenset(("B", "C"))}
+
+
+class TestStructure:
+    def test_edge_count(self):
+        mi = matrix(("A", "B", "C", "D"), {(i, j): 1.0 for i in range(4) for j in range(i + 1, 4)})
+        tree = chow_liu_tree(mi)
+        assert len(tree.edges) == 3
+
+    def test_root_selection(self):
+        mi = matrix(("A", "B", "C"), {(0, 1): 0.5, (1, 2): 0.4, (0, 2): 0.1})
+        tree = chow_liu_tree(mi, root="B")
+        assert tree.root == "B"
+        assert tree.parent["B"] is None
+        assert tree.parent["A"] == "B"
+
+    def test_children(self):
+        mi = matrix(("A", "B", "C"), {(0, 1): 0.5, (0, 2): 0.4, (1, 2): 0.1})
+        tree = chow_liu_tree(mi, root="A")
+        assert set(tree.children("A")) == {"B", "C"}
+
+    def test_deterministic_under_ties(self):
+        mi = matrix(
+            ("A", "B", "C"), {(0, 1): 0.5, (1, 2): 0.5, (0, 2): 0.5}
+        )
+        first = chow_liu_tree(mi)
+        second = chow_liu_tree(mi)
+        assert first.edges == second.edges
+
+    def test_single_attribute(self):
+        mi = MIMatrix(attributes=("A",), values=np.zeros((1, 1)))
+        tree = chow_liu_tree(mi)
+        assert tree.edges == ()
+        assert tree.root == "A"
+
+    def test_render(self):
+        mi = matrix(("A", "B"), {(0, 1): 0.7})
+        text = chow_liu_tree(mi).render()
+        assert "A" in text and "B" in text and "0.700" in text
+
+
+class TestValidation:
+    def test_unknown_root(self):
+        mi = matrix(("A", "B"), {(0, 1): 0.7})
+        with pytest.raises(FIVMError):
+            chow_liu_tree(mi, root="Z")
+
+    def test_empty_matrix(self):
+        mi = MIMatrix(attributes=(), values=np.zeros((0, 0)))
+        with pytest.raises(FIVMError):
+            chow_liu_tree(mi)

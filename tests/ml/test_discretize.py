@@ -1,0 +1,45 @@
+"""Discretization helpers."""
+
+import pytest
+
+from repro.data import Relation
+from repro.errors import DataError
+from repro.ml import binned_feature, binning_for_attribute, binning_from_values
+
+
+class TestBinningFromValues:
+    def test_spans_min_max(self):
+        binning = binning_from_values([1.0, 5.0, 3.0], bins=4)
+        assert binning.low == 1.0
+        assert binning.high == 5.0
+        assert binning.count == 4
+
+    def test_degenerate_domain(self):
+        binning = binning_from_values([2.0, 2.0], bins=3)
+        assert binning.high > binning.low
+        assert binning.bin(2.0) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            binning_from_values([])
+
+
+class TestBinningForAttribute:
+    def test_reads_attribute_column(self):
+        relation = Relation.from_tuples(("A", "X"), [(1, 10.0), (2, 30.0)])
+        binning = binning_for_attribute(relation, "X", bins=2)
+        assert binning.low == 10.0
+        assert binning.high == 30.0
+
+    def test_unknown_attribute(self):
+        relation = Relation.from_tuples(("A",), [(1,)])
+        with pytest.raises(DataError):
+            binning_for_attribute(relation, "X")
+
+
+class TestBinnedFeature:
+    def test_feature_is_categorical(self):
+        relation = Relation.from_tuples(("A", "X"), [(1, 10.0), (2, 30.0)])
+        feature = binned_feature(relation, "X", bins=5)
+        assert feature.is_categorical
+        assert feature.binning.count == 5

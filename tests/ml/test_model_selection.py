@@ -1,0 +1,56 @@
+"""Model selection: MI-based feature ranking and thresholding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FIVMError
+from repro.ml import rank_features, select_features
+from repro.ml.mi import MIMatrix
+
+
+def mi_fixture():
+    attrs = ("label", "strong", "weak", "medium")
+    values = np.array(
+        [
+            [1.0, 0.8, 0.05, 0.3],
+            [0.8, 1.0, 0.0, 0.0],
+            [0.05, 0.0, 1.0, 0.0],
+            [0.3, 0.0, 0.0, 1.0],
+        ]
+    )
+    return MIMatrix(attributes=attrs, values=values)
+
+
+class TestRanking:
+    def test_descending_order(self):
+        ranking = rank_features(mi_fixture(), "label")
+        assert [attr for attr, _ in ranking.ranked] == ["strong", "medium", "weak"]
+
+    def test_label_excluded(self):
+        ranking = rank_features(mi_fixture(), "label")
+        assert all(attr != "label" for attr, _ in ranking.ranked)
+
+    def test_threshold_selection(self):
+        ranking = rank_features(mi_fixture(), "label")
+        assert ranking.selected(0.2) == ("strong", "medium")
+        assert ranking.selected(0.9) == ()
+        assert ranking.selected(0.0) == ("strong", "medium", "weak")
+
+    def test_select_features_shortcut(self):
+        assert select_features(mi_fixture(), "label", 0.2) == ("strong", "medium")
+
+    def test_tie_break_alphabetical(self):
+        attrs = ("label", "b", "a")
+        values = np.full((3, 3), 0.5)
+        mi = MIMatrix(attributes=attrs, values=values)
+        ranking = rank_features(mi, "label")
+        assert [attr for attr, _ in ranking.ranked] == ["a", "b"]
+
+    def test_unknown_label(self):
+        with pytest.raises(FIVMError):
+            rank_features(mi_fixture(), "nope")
+
+    def test_render_marks_selection(self):
+        text = rank_features(mi_fixture(), "label").render(0.2)
+        assert "[✔] strong" in text
+        assert "[ ] weak" in text

@@ -1,0 +1,195 @@
+"""Ridge regression from COVAR sufficient statistics.
+
+Cross-validated against direct numpy least squares on the *materialized*
+join — the whole point of F-IVM is that the two must coincide without ever
+building that join.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Database, Relation, RelationSchema
+from repro.engine import FIVMEngine
+from repro.errors import FIVMError
+from repro.ml import RidgeRegression, covar_from_payload
+from repro.query import Query
+from repro.rings import CovarSpec, Feature
+
+R = RelationSchema("R", ("A", "B"))
+S = RelationSchema("S", ("A", "C", "D"))
+
+
+def make_db(seed=3, n=40):
+    rng = np.random.default_rng(seed)
+    r_rows = [(int(a), int(rng.integers(-4, 5))) for a in rng.integers(0, 6, n)]
+    s_rows = [
+        (int(a), int(rng.integers(-4, 5)), int(rng.integers(-4, 5)))
+        for a in rng.integers(0, 6, n)
+    ]
+    return Database(
+        [
+            Relation.from_tuples(("A", "B"), r_rows, name="R"),
+            Relation.from_tuples(("A", "C", "D"), s_rows, name="S"),
+        ]
+    )
+
+
+def materialized_design(db):
+    """[1, B, C] rows and D labels of the explicit join (bag semantics)."""
+    joined = db.relation("R").join(db.relation("S"))
+    xs, ys = [], []
+    for (a, b, c, d), multiplicity in joined.data.items():
+        for _ in range(multiplicity):
+            xs.append([1.0, float(b), float(c)])
+            ys.append(float(d))
+    return np.array(xs), np.array(ys)
+
+
+def covar_of(db, backend="numeric"):
+    spec = CovarSpec(
+        (Feature.continuous("B"), Feature.continuous("C"), Feature.continuous("D")),
+        backend=backend,
+    )
+    engine = FIVMEngine(Query("Q", (R, S), spec=spec))
+    engine.initialize(db)
+    return covar_from_payload(engine.result().payload(()), engine.plan)
+
+
+class TestClosedForm:
+    def test_matches_direct_normal_equations(self):
+        db = make_db()
+        covar = covar_of(db)
+        lam = 0.1
+        solver = RidgeRegression(["B", "C"], "D", regularization=lam)
+        model = solver.fit_closed_form(covar)
+        x, y = materialized_design(db)
+        n = len(y)
+        mask = np.diag([0.0, 1.0, 1.0])
+        expected = np.linalg.solve(x.T @ x / n + lam * mask, x.T @ y / n)
+        assert np.allclose(model.theta, expected)
+
+    def test_unregularized_matches_lstsq(self):
+        db = make_db(seed=5)
+        covar = covar_of(db)
+        solver = RidgeRegression(["B", "C"], "D", regularization=0.0)
+        model = solver.fit_closed_form(covar)
+        x, y = materialized_design(db)
+        expected, *_ = np.linalg.lstsq(x, y, rcond=None)
+        assert np.allclose(model.theta, expected, atol=1e-8)
+
+
+class TestGradientDescent:
+    def test_converges_to_closed_form(self):
+        covar = covar_of(make_db())
+        solver = RidgeRegression(["B", "C"], "D", regularization=0.05)
+        bgd = solver.fit(covar, max_iterations=20000, tolerance=1e-12)
+        closed = solver.fit_closed_form(covar)
+        assert bgd.converged
+        assert np.allclose(bgd.theta, closed.theta, atol=1e-6)
+
+    def test_warm_start_resumes_faster(self):
+        covar = covar_of(make_db())
+        solver = RidgeRegression(["B", "C"], "D", regularization=0.05)
+        cold = solver.fit(covar, max_iterations=50000, tolerance=1e-10)
+        warm = solver.fit(
+            covar, theta0=cold.theta, max_iterations=50000, tolerance=1e-10
+        )
+        assert warm.iterations < cold.iterations
+
+    def test_wrong_theta0_shape_rejected(self):
+        covar = covar_of(make_db())
+        solver = RidgeRegression(["B", "C"], "D")
+        with pytest.raises(FIVMError):
+            solver.fit(covar, theta0=np.zeros(7))
+
+
+class TestTrainingRmse:
+    def test_matches_explicit_residuals(self):
+        db = make_db(seed=9)
+        covar = covar_of(db)
+        solver = RidgeRegression(["B", "C"], "D", regularization=0.01)
+        model = solver.fit_closed_form(covar)
+        x, y = materialized_design(db)
+        explicit = np.sqrt(np.mean((x @ model.theta - y) ** 2))
+        assert model.training_rmse == pytest.approx(explicit, rel=1e-9)
+
+
+class TestPredictAndCoefficients:
+    def test_continuous_prediction(self):
+        covar = covar_of(make_db())
+        model = RidgeRegression(["B", "C"], "D").fit_closed_form(covar)
+        expected = model.intercept + model.theta[1] * 2.0 + model.theta[2] * -1.0
+        assert model.predict({"B": 2.0, "C": -1.0}) == pytest.approx(expected)
+
+    def test_missing_feature_rejected(self):
+        covar = covar_of(make_db())
+        model = RidgeRegression(["B", "C"], "D").fit_closed_form(covar)
+        with pytest.raises(FIVMError):
+            model.predict({"B": 2.0})
+
+    def test_coefficients_labelled(self):
+        covar = covar_of(make_db())
+        model = RidgeRegression(["B", "C"], "D").fit_closed_form(covar)
+        assert set(model.coefficients()) == {"B", "C"}
+
+
+class TestCategoricalRegression:
+    def test_one_hot_learning(self):
+        """Label depends deterministically on categorical C; regression
+        over one-hot columns must recover the category means."""
+        rows_r = [(a, 0) for a in range(6)]
+        rows_s = [(a, a % 2, 10 if a % 2 == 0 else 20) for a in range(6)]
+        db = Database(
+            [
+                Relation.from_tuples(("A", "B"), rows_r, name="R"),
+                Relation.from_tuples(("A", "C", "D"), rows_s, name="S"),
+            ]
+        )
+        spec = CovarSpec(
+            (
+                Feature.categorical("C"),
+                Feature.continuous("D"),
+            )
+        )
+        engine = FIVMEngine(Query("Q", (R, S), spec=spec))
+        engine.initialize(db)
+        covar = covar_from_payload(engine.result().payload(()), engine.plan)
+        model = RidgeRegression(["C"], "D", regularization=0.0).fit_closed_form(covar)
+        assert model.predict({"C": 0}) == pytest.approx(10.0, abs=1e-6)
+        assert model.predict({"C": 1}) == pytest.approx(20.0, abs=1e-6)
+
+
+class TestValidation:
+    def test_no_features_rejected(self):
+        with pytest.raises(FIVMError):
+            RidgeRegression([], "D")
+
+    def test_label_in_features_rejected(self):
+        with pytest.raises(FIVMError):
+            RidgeRegression(["D"], "D")
+
+    def test_negative_regularization_rejected(self):
+        with pytest.raises(FIVMError):
+            RidgeRegression(["B"], "D", regularization=-1.0)
+
+    def test_categorical_label_rejected(self):
+        db = make_db()
+        spec = CovarSpec(
+            (Feature.categorical("B"), Feature.continuous("D"))
+        )
+        engine = FIVMEngine(Query("Q", (R, S), spec=spec))
+        engine.initialize(db)
+        covar = covar_from_payload(engine.result().payload(()), engine.plan)
+        with pytest.raises(FIVMError):
+            RidgeRegression(["D"], "B").design(covar)
+
+    def test_empty_dataset_rejected(self):
+        db = Database(
+            [
+                Relation(("A", "B"), name="R"),
+                Relation(("A", "C", "D"), name="S"),
+            ]
+        )
+        covar = covar_of(db)
+        with pytest.raises(FIVMError):
+            RidgeRegression(["B", "C"], "D").fit_closed_form(covar)

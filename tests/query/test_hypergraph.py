@@ -1,0 +1,94 @@
+"""Join hypergraphs: connectivity and GYO acyclicity."""
+
+from repro.query import Hypergraph
+
+
+def triangle():
+    return Hypergraph({"R": ("A", "B"), "S": ("B", "C"), "T": ("C", "A")})
+
+
+def path3():
+    return Hypergraph({"R": ("A", "B"), "S": ("B", "C"), "T": ("C", "D")})
+
+
+class TestBasics:
+    def test_vertices_and_degree(self):
+        g = path3()
+        assert g.vertices == {"A", "B", "C", "D"}
+        assert g.vertex_degree("B") == 2
+        assert g.vertex_degree("A") == 1
+
+    def test_edges_with(self):
+        assert set(path3().edges_with("C")) == {"S", "T"}
+
+    def test_shared_vertices(self):
+        assert path3().shared_vertices() == {"B", "C"}
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self):
+        g = path3()
+        comps = g.components(g.vertices, g.edges)
+        assert len(comps) == 1
+        assert comps[0][0] == {"A", "B", "C", "D"}
+
+    def test_removal_splits(self):
+        g = path3()
+        comps = g.components({"A", "C", "D"}, g.edges)
+        # removing B separates R's side from S/T's side
+        vertex_sets = sorted(frozenset(vs) for vs, _ in comps)
+        assert frozenset({"A"}) in vertex_sets
+        assert frozenset({"C", "D"}) in vertex_sets
+
+    def test_edge_only_component(self):
+        g = path3()
+        comps = g.components(set(), g.edges)
+        assert all(not vs for vs, _ in comps)
+        assert sum(len(es) for _, es in comps) == 3
+
+    def test_disconnected(self):
+        g = Hypergraph({"R": ("A",), "S": ("B",)})
+        assert not g.is_connected()
+        assert g.components(g.vertices, g.edges)[0][1] in (["R"], ["S"])
+
+    def test_is_connected_true(self):
+        assert path3().is_connected()
+
+
+class TestGYO:
+    def test_path_is_acyclic(self):
+        assert path3().is_acyclic()
+
+    def test_triangle_is_cyclic(self):
+        assert not triangle().is_acyclic()
+
+    def test_star_is_acyclic(self):
+        g = Hypergraph(
+            {"F": ("A", "B", "C"), "R": ("A",), "S": ("B",), "T": ("C",)}
+        )
+        assert g.is_acyclic()
+
+    def test_single_edge_acyclic(self):
+        assert Hypergraph({"R": ("A", "B")}).is_acyclic()
+
+    def test_contained_edges_acyclic(self):
+        g = Hypergraph({"R": ("A", "B", "C"), "S": ("A", "B")})
+        assert g.is_acyclic()
+
+    def test_retailer_shape_acyclic(self):
+        g = Hypergraph(
+            {
+                "Inventory": ("locn", "dateid", "ksn"),
+                "Location": ("locn", "zip"),
+                "Census": ("zip",),
+                "Item": ("ksn",),
+                "Weather": ("locn", "dateid"),
+            }
+        )
+        assert g.is_acyclic()
+
+    def test_cycle_through_hyperedges(self):
+        g = Hypergraph(
+            {"R": ("A", "B"), "S": ("B", "C"), "T": ("C", "D"), "U": ("D", "A")}
+        )
+        assert not g.is_acyclic()

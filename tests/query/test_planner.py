@@ -1,0 +1,106 @@
+"""The greedy variable-order planner."""
+
+import pytest
+
+from repro.data import RelationSchema
+from repro.datasets import RETAILER_SCHEMAS
+from repro.errors import QueryError
+from repro.query import Query, plan_variable_order, required_variables
+from repro.rings import CountSpec
+
+
+def query_of(*schemas, free=()):
+    return Query("Q", tuple(schemas), spec=CountSpec(), free=tuple(free))
+
+
+class TestRequiredVariables:
+    def test_shared_and_free(self):
+        q = query_of(
+            RelationSchema("R", ("A", "B")),
+            RelationSchema("S", ("A", "C")),
+            free=("C",),
+        )
+        assert set(required_variables(q)) == {"A", "C"}
+
+
+class TestPlanner:
+    def test_figure1_query(self):
+        q = query_of(
+            RelationSchema("R", ("A", "B")), RelationSchema("S", ("A", "C", "D"))
+        )
+        order = plan_variable_order(q)
+        order.validate(q)
+        # only A is shared; B, C, D stay leaf-aggregated
+        assert order.variables == ("A",)
+        assert order.anchor_of("R") == "A"
+        assert order.anchor_of("S") == "A"
+
+    def test_retailer_query_matches_figure2d_shape(self):
+        q = Query("Retailer", RETAILER_SCHEMAS, spec=CountSpec())
+        order = plan_variable_order(q)
+        order.validate(q)
+        root = order.roots[0]
+        assert root.variable == "locn"
+        child_vars = {child.variable for child in root.children}
+        assert child_vars == {"dateid", "zip"}
+        assert order.anchor_of("Census") == "zip"
+        assert order.anchor_of("Item") == "ksn"
+        assert order.anchor_of("Weather") == "dateid"
+        assert order.dependency_set(q, "ksn") == ("locn", "dateid")
+
+    def test_extra_variables_become_nodes(self):
+        q = query_of(
+            RelationSchema("R", ("A", "B")), RelationSchema("S", ("A", "C"))
+        )
+        order = plan_variable_order(q, extra_variables=("B",))
+        assert "B" in order.variables
+        order.validate(q)
+
+    def test_unknown_extra_variable(self):
+        q = query_of(RelationSchema("R", ("A", "B")))
+        with pytest.raises(QueryError):
+            plan_variable_order(q, extra_variables=("Z",))
+
+    def test_cyclic_query_still_plannable(self):
+        q = query_of(
+            RelationSchema("R", ("A", "B")),
+            RelationSchema("S", ("B", "C")),
+            RelationSchema("T", ("C", "A")),
+        )
+        order = plan_variable_order(q)
+        order.validate(q)
+        assert set(order.variables) == {"A", "B", "C"}
+
+    def test_disconnected_query_forest(self):
+        q = query_of(
+            RelationSchema("R", ("A", "B")),
+            RelationSchema("S", ("A", "C")),
+            RelationSchema("T", ("X", "Y")),
+            RelationSchema("U", ("X", "Z")),
+        )
+        order = plan_variable_order(q)
+        order.validate(q)
+        assert len(order.roots) == 2
+
+    def test_single_relation_no_variables(self):
+        q = query_of(RelationSchema("R", ("A", "B")))
+        order = plan_variable_order(q)
+        order.validate(q)
+        assert order.variables == ()
+        assert order.root_relations == ("R",)
+
+    def test_free_variables_rise_to_top(self):
+        q = query_of(
+            RelationSchema("R", ("A", "B")),
+            RelationSchema("S", ("B", "C")),
+            free=("C",),
+        )
+        order = plan_variable_order(q)
+        order.validate(q)
+        assert order.roots[0].variable == "C"
+
+    def test_deterministic(self):
+        q = Query("Retailer", RETAILER_SCHEMAS, spec=CountSpec())
+        first = plan_variable_order(q).render()
+        second = plan_variable_order(q).render()
+        assert first == second

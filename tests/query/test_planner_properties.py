@@ -1,0 +1,65 @@
+"""Planner property: every random query gets a valid variable order."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import RelationSchema
+from repro.query import Query, plan_variable_order
+from repro.rings import CountSpec
+
+ATTRS = ("A", "B", "C", "D", "E", "F")
+
+
+def queries():
+    """Random multi-relation queries over a small attribute pool."""
+    schema = st.lists(
+        st.sampled_from(ATTRS), min_size=1, max_size=4, unique=True
+    )
+
+    def build(schemas_and_free):
+        schemas, free_seed = schemas_and_free
+        relations = tuple(
+            RelationSchema(f"R{i}", tuple(attrs))
+            for i, attrs in enumerate(schemas)
+        )
+        attrs = []
+        for rel in relations:
+            attrs.extend(rel.attributes)
+        free = tuple(sorted({attrs[i % len(attrs)] for i in free_seed}))
+        return Query("Q", relations, spec=CountSpec(), free=free)
+
+    return st.tuples(
+        st.lists(schema, min_size=1, max_size=4),
+        st.lists(st.integers(0, 10), max_size=2),
+    ).map(build)
+
+
+@given(queries())
+def test_planner_output_is_valid(query):
+    order = plan_variable_order(query)
+    order.validate(query)  # raises on any violation
+
+
+@given(queries())
+def test_planner_covers_required_variables(query):
+    order = plan_variable_order(query)
+    variables = set(order.variables)
+    assert set(query.join_attributes) <= variables
+    assert set(query.free) <= variables
+
+
+@given(queries())
+def test_planner_anchors_every_relation(query):
+    order = plan_variable_order(query)
+    for name in query.relation_names:
+        order.anchor_of(name)  # raises if unanchored
+
+
+@given(queries())
+def test_planned_tree_evaluates(query):
+    """The planned order must produce a buildable view tree whose root is
+    keyed exactly by the free variables."""
+    from repro.viewtree import build_view_tree
+
+    tree = build_view_tree(query, plan_variable_order(query))
+    assert set(tree.root.key) == set(query.free)

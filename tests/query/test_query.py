@@ -1,0 +1,63 @@
+"""Query objects."""
+
+import pytest
+
+from repro.data import RelationSchema
+from repro.errors import QueryError
+from repro.query import Query
+from repro.rings import CountSpec, CovarSpec, Feature
+
+R = RelationSchema("R", ("A", "B"))
+S = RelationSchema("S", ("A", "C", "D"))
+
+
+class TestQuery:
+    def test_attributes_in_first_seen_order(self):
+        q = Query("Q", (R, S))
+        assert q.attributes == ("A", "B", "C", "D")
+
+    def test_join_attributes(self):
+        q = Query("Q", (R, S))
+        assert q.join_attributes == ("A",)
+
+    def test_relation_names(self):
+        assert Query("Q", (R, S)).relation_names == ("R", "S")
+
+    def test_schema_of(self):
+        q = Query("Q", (R, S))
+        assert q.schema_of("S").attributes == ("A", "C", "D")
+        with pytest.raises(QueryError):
+            q.schema_of("T")
+
+    def test_no_relations_rejected(self):
+        with pytest.raises(QueryError):
+            Query("Q", ())
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(QueryError):
+            Query("Q", (R, R))
+
+    def test_unknown_free_var_rejected(self):
+        with pytest.raises(QueryError):
+            Query("Q", (R, S), free=("Z",))
+
+    def test_unknown_lifted_attr_rejected(self):
+        spec = CovarSpec((Feature.continuous("Z"),))
+        with pytest.raises(QueryError):
+            Query("Q", (R, S), spec=spec)
+
+    def test_acyclic(self):
+        assert Query("Q", (R, S)).is_acyclic()
+        cyclic = Query(
+            "C",
+            (
+                RelationSchema("R", ("A", "B")),
+                RelationSchema("S", ("B", "C")),
+                RelationSchema("T", ("C", "A")),
+            ),
+        )
+        assert not cyclic.is_acyclic()
+
+    def test_build_plan(self):
+        plan = Query("Q", (R, S), spec=CountSpec()).build_plan()
+        assert plan.ring.name == "Z"

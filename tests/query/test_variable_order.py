@@ -1,0 +1,160 @@
+"""Variable orders: structure, validation and dependency sets."""
+
+import pytest
+
+from repro.data import RelationSchema
+from repro.errors import QueryError
+from repro.query import Query, VONode, VariableOrder
+
+R = RelationSchema("R", ("A", "B"))
+S = RelationSchema("S", ("A", "C", "D"))
+QUERY = Query("Q", (R, S))
+
+
+def figure1_order():
+    return VariableOrder([VONode("A", relations=("R", "S"))])
+
+
+def deep_order():
+    # A -> B [R], A -> C -> D [S]
+    return VariableOrder(
+        [
+            VONode(
+                "A",
+                children=(
+                    VONode("B", relations=("R",)),
+                    VONode("C", children=(VONode("D", relations=("S",)),)),
+                ),
+            )
+        ]
+    )
+
+
+class TestStructure:
+    def test_variables_preorder(self):
+        assert deep_order().variables == ("A", "B", "C", "D")
+
+    def test_parent_and_ancestors(self):
+        order = deep_order()
+        assert order.parent("A") is None
+        assert order.parent("D") == "C"
+        assert order.ancestors("D") == ("A", "C")
+        assert order.path_to_root("D") == ("D", "C", "A")
+
+    def test_anchor_of(self):
+        order = deep_order()
+        assert order.anchor_of("R") == "B"
+        assert order.anchor_of("S") == "D"
+        with pytest.raises(QueryError):
+            order.anchor_of("T")
+
+    def test_root_relations(self):
+        order = VariableOrder([], root_relations=("R",))
+        assert order.anchor_of("R") is None
+
+    def test_subtree_accessors(self):
+        order = deep_order()
+        assert order.subtree_variables("C") == ("C", "D")
+        assert order.subtree_relations("C") == ("S",)
+        assert set(order.subtree_relations("A")) == {"R", "S"}
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(QueryError):
+            VariableOrder([VONode("A", children=(VONode("A"),))])
+
+    def test_duplicate_anchor_rejected(self):
+        with pytest.raises(QueryError):
+            VariableOrder(
+                [VONode("A", relations=("R",), children=(VONode("B", relations=("R",)),))]
+            )
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(QueryError):
+            deep_order().node("Z")
+
+
+class TestValidation:
+    def test_figure1_order_valid(self):
+        figure1_order().validate(QUERY)
+
+    def test_deep_order_valid(self):
+        deep_order().validate(QUERY)
+
+    def test_missing_anchor(self):
+        order = VariableOrder([VONode("A", relations=("R",))])
+        with pytest.raises(QueryError):
+            order.validate(QUERY)
+
+    def test_variable_not_in_query(self):
+        order = VariableOrder([VONode("Z", relations=("R", "S"))])
+        with pytest.raises(QueryError):
+            order.validate(QUERY)
+
+    def test_shared_attr_must_be_variable(self):
+        # B-only order: A (shared) is not a variable -> invalid.
+        order = VariableOrder([VONode("B", relations=("R", "S"))])
+        with pytest.raises(QueryError):
+            order.validate(QUERY)
+
+    def test_relation_variables_off_path(self):
+        # D anchored under B: S's variables {A, C, D} not on B's path.
+        order = VariableOrder(
+            [
+                VONode(
+                    "A",
+                    children=(
+                        VONode("B", relations=("R", "S")),
+                        VONode("C", children=(VONode("D"),)),
+                    ),
+                )
+            ]
+        )
+        with pytest.raises(QueryError):
+            order.validate(QUERY)
+
+    def test_free_var_must_be_variable(self):
+        query = Query("Q", (R, S), free=("B",))
+        figure1_order().validate(Query("Q", (R, S)))
+        with pytest.raises(QueryError):
+            figure1_order().validate(query)
+
+
+class TestDependencySets:
+    def test_root_has_empty_dep(self):
+        assert deep_order().dependency_set(QUERY, "A") == ()
+
+    def test_leaf_variable_deps(self):
+        order = deep_order()
+        assert order.dependency_set(QUERY, "B") == ("A",)
+        assert order.dependency_set(QUERY, "C") == ("A",)
+        assert order.dependency_set(QUERY, "D") == ("A", "C")
+
+    def test_dep_ordering_follows_path(self):
+        # dep(D) must be (A, C) in root-first order, not (C, A).
+        assert deep_order().dependency_set(QUERY, "D")[0] == "A"
+
+    def test_free_below(self):
+        query = Query("Q", (R, S), free=("C",))
+        order = deep_order()
+        assert order.free_below(query, "A") == ("C",)
+        assert order.free_below(query, "C") == ("C",)
+        assert order.free_below(query, "B") == ()
+
+
+class TestChainConstructor:
+    def test_chain_valid_for_any_query(self):
+        order = VariableOrder.chain(
+            ("A", "B", "C", "D"), {"R": "B", "S": "D"}
+        )
+        order.validate(QUERY)
+        assert order.variables == ("A", "B", "C", "D")
+        assert order.anchor_of("S") == "D"
+
+    def test_empty_chain(self):
+        order = VariableOrder.chain((), {}, root_relations=("R",))
+        assert order.variables == ()
+        assert order.anchor_of("R") is None
+
+    def test_render_contains_structure(self):
+        text = deep_order().render()
+        assert "A" in text and "[R]" in text

@@ -1,0 +1,116 @@
+"""The command-line interface (the demo's tabs from a terminal)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+SMALL = ["--scale", "1", "--seed", "3"]
+
+
+class TestInfo:
+    def test_covar_view_tree(self, capsys):
+        code, out = run_cli(capsys, ["info", "--dataset", "retailer"] + SMALL)
+        assert code == 0
+        assert "V@locn" in out
+        assert "DECLARE MAP" in out
+
+    def test_count_payload(self, capsys):
+        code, out = run_cli(
+            capsys, ["info", "--payload", "count", "--dataset", "favorita"] + SMALL
+        )
+        assert code == 0
+        assert "V@date" in out
+
+    def test_mi_payload_with_dot(self, capsys):
+        code, out = run_cli(capsys, ["info", "--payload", "mi", "--dot"] + SMALL)
+        assert code == 0
+        assert "digraph" in out
+
+
+class TestRun:
+    def test_model_selection_bulks(self, capsys):
+        code, out = run_cli(
+            capsys,
+            [
+                "run",
+                "--app",
+                "model-selection",
+                "--bulks",
+                "1",
+                "--bulk-updates",
+                "200",
+                "--batch-size",
+                "100",
+            ]
+            + SMALL,
+        )
+        assert code == 0
+        assert "label: inventoryunits" in out
+        assert "bulk 1" in out
+
+    def test_regression_on_favorita(self, capsys):
+        code, out = run_cli(
+            capsys,
+            [
+                "run",
+                "--dataset",
+                "favorita",
+                "--app",
+                "regression",
+                "--bulks",
+                "1",
+                "--bulk-updates",
+                "200",
+                "--batch-size",
+                "100",
+            ]
+            + SMALL,
+        )
+        assert code == 0
+        assert "intercept" in out
+
+    def test_chowliu(self, capsys):
+        code, out = run_cli(
+            capsys,
+            [
+                "run",
+                "--app",
+                "chow-liu",
+                "--bulks",
+                "1",
+                "--bulk-updates",
+                "200",
+                "--batch-size",
+                "100",
+            ]
+            + SMALL,
+        )
+        assert code == 0
+        assert "MI=" in out
+
+
+class TestBench:
+    def test_engine_comparison(self, capsys):
+        code, out = run_cli(
+            capsys, ["bench", "--batches", "2", "--batch-size", "50"] + SMALL
+        )
+        assert code == 0
+        assert "fivm" in out and "naive" in out
+        assert "all engines agree" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "nope"])

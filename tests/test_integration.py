@@ -1,0 +1,130 @@
+"""End-to-end integration: the demo's full workflow on one database.
+
+Input tab -> Model Selection -> Regression -> Chow-Liu -> Maintenance
+Strategy, sharing one evolving Retailer database, with the final state
+cross-checked against offline recomputation. This is the scripted version
+of a full demo session (Section 3).
+"""
+
+import pytest
+
+from repro.apps import (
+    ChowLiuApp,
+    MaintenanceStrategyApp,
+    ModelSelectionApp,
+    RegressionApp,
+)
+from repro.datasets import (
+    RETAILER_SCHEMAS,
+    RetailerConfig,
+    UpdateStream,
+    generate_retailer,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+)
+from repro.engine import NaiveEngine
+from repro.ml.discretize import binning_for_attribute
+from repro.rings import CovarSpec, Feature
+
+CONFIG = RetailerConfig(locations=6, dates=10, items=30, inventory_rows=500, seed=23)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_retailer(CONFIG)
+
+
+def test_full_demo_session(database):
+    order = retailer_variable_order()
+
+    # --- Input tab: database + query are fixed; inspect the strategy.
+    strategy = MaintenanceStrategyApp(
+        retailer_query(CovarSpec((Feature.continuous("prize"),))), order=order
+    )
+    assert "V@locn" in strategy.render_tree()
+
+    # --- Model Selection tab: pick features by MI against the label.
+    item = database.relation("Item")
+    inventory = database.relation("Inventory")
+    mi_features = (
+        Feature.categorical("ksn"),
+        Feature.categorical("subcategory"),
+        Feature.categorical("category"),
+        Feature("prize", "continuous", binning_for_attribute(item, "prize", 6)),
+        Feature(
+            "inventoryunits",
+            "continuous",
+            binning_for_attribute(inventory, "inventoryunits", 6),
+        ),
+        Feature.categorical("rain"),
+    )
+    selection = ModelSelectionApp(
+        database,
+        RETAILER_SCHEMAS,
+        mi_features,
+        label="inventoryunits",
+        threshold=0.05,
+        order=order,
+    )
+    selected = selection.selected_features()
+    assert "rain" not in selected
+    assert len(selected) >= 2
+
+    # --- Regression tab: learn over the selected features.
+    feature_kinds = {
+        "ksn": Feature.categorical("ksn"),
+        "subcategory": Feature.categorical("subcategory"),
+        "category": Feature.categorical("category"),
+        "prize": Feature.continuous("prize"),
+    }
+    regression_feats = tuple(
+        feature_kinds[name] for name in selected if name in feature_kinds
+    ) + (Feature.continuous("inventoryunits"),)
+    regression = RegressionApp(
+        database,
+        RETAILER_SCHEMAS,
+        regression_feats,
+        "inventoryunits",
+        order=order,
+    )
+    model_before = regression.refresh_model()
+
+    # --- Chow-Liu tab over the same MI features.
+    chowliu = ChowLiuApp(database, RETAILER_SCHEMAS, mi_features, order=order)
+    tree_before = chowliu.tree()
+    assert len(tree_before.edges) == len(mi_features) - 1
+
+    # --- Process Updates: one shared stream drives all apps in lockstep.
+    streams = {
+        app: UpdateStream(
+            app.session.database,
+            retailer_row_factories(CONFIG, database),
+            targets=("Inventory",),
+            batch_size=200,
+            insert_ratio=0.7,
+            seed=77,
+        )
+        for app in (selection, regression, chowliu)
+    }
+    for app, stream in streams.items():
+        report = app.process_bulk(stream.batches(4))
+        assert report.updates > 0
+
+    # All three sessions saw the same deltas -> same database state.
+    reference_db = streams[selection].shadow
+    for stream in streams.values():
+        assert stream.shadow.relation("Inventory") == reference_db.relation(
+            "Inventory"
+        )
+
+    # --- Apps still functional after the bulk.
+    assert len(selection.ranking().ranked) == len(mi_features) - 1
+    model_after = regression.refresh_model()
+    assert model_after.training_rmse < model_before.training_rmse * 2
+    assert len(chowliu.tree().edges) == len(mi_features) - 1
+
+    # --- The maintained regression COVAR equals offline recomputation.
+    naive = NaiveEngine(regression.session.query, order=order)
+    naive.initialize(regression.session.database)
+    assert regression.session.result().close_to(naive.result(), 1e-6)

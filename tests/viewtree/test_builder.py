@@ -1,0 +1,138 @@
+"""View-tree construction (τ)."""
+
+import pytest
+
+from repro.data import RelationSchema
+from repro.datasets import (
+    RETAILER_SCHEMAS,
+    retailer_variable_order,
+    toy_count_query,
+    toy_variable_order,
+)
+from repro.errors import QueryError
+from repro.query import Query, VONode, VariableOrder
+from repro.rings import CountSpec, CovarSpec, Feature, SumSpec
+from repro.viewtree import build_view_tree
+
+R = RelationSchema("R", ("A", "B"))
+S = RelationSchema("S", ("A", "C", "D"))
+
+
+class TestToyTree:
+    def test_shape_matches_figure1(self):
+        tree = build_view_tree(toy_count_query(), toy_variable_order())
+        root = tree.root
+        assert root.name == "V@A"
+        assert root.key == ()
+        assert root.variable == "A"
+        assert {child.name for child in root.children} == {"V_R", "V_S"}
+        assert tree.leaf_of["R"].key == ("A",)
+        assert tree.leaf_of["S"].key == ("A",)
+
+    def test_leaf_lifted_attributes(self):
+        query = Query(
+            "Q",
+            (R, S),
+            spec=CovarSpec(
+                (
+                    Feature.continuous("B"),
+                    Feature.continuous("C"),
+                    Feature.continuous("D"),
+                )
+            ),
+        )
+        tree = build_view_tree(query, toy_variable_order())
+        assert tree.leaf_of["R"].lifted == ("B",)
+        assert set(tree.leaf_of["S"].lifted) == {"C", "D"}
+
+    def test_path_to_root(self):
+        tree = build_view_tree(toy_count_query(), toy_variable_order())
+        path = tree.path_to_root("R")
+        assert [view.name for view in path] == ["V_R", "V@A"]
+        with pytest.raises(QueryError):
+            tree.path_to_root("T")
+
+    def test_all_views_bottom_up(self):
+        tree = build_view_tree(toy_count_query(), toy_variable_order())
+        names = [view.name for view in tree.all_views()]
+        assert names[-1] == "V@A"
+        assert set(names) == {"V_R", "V_S", "V@A"}
+
+
+class TestRetailerTree:
+    def test_figure2d_keys(self):
+        query = Query("Retailer", RETAILER_SCHEMAS, spec=CountSpec())
+        tree = build_view_tree(query, retailer_variable_order())
+        assert tree.views["V@locn"].key == ()
+        assert tree.views["V@dateid"].key == ("locn",)
+        assert tree.views["V@zip"].key == ("locn",)
+        assert tree.views["V@ksn"].key == ("locn", "dateid")
+        assert tree.leaf_of["Inventory"].key == ("locn", "dateid", "ksn")
+        assert tree.leaf_of["Item"].key == ("ksn",)
+        assert tree.leaf_of["Census"].key == ("zip",)
+
+    def test_inventory_path(self):
+        query = Query("Retailer", RETAILER_SCHEMAS, spec=CountSpec())
+        tree = build_view_tree(query, retailer_variable_order())
+        path = [view.name for view in tree.path_to_root("Inventory")]
+        assert path == ["V_Inventory", "V@ksn", "V@dateid", "V@locn"]
+
+
+class TestLiftedJoinVariable:
+    def test_lift_applies_at_variable_node(self):
+        # A is shared *and* lifted: the lift must appear at V@A, not leaves.
+        query = Query("Q", (R, S), spec=SumSpec("A"))
+        tree = build_view_tree(query, toy_variable_order())
+        assert tree.root.lifted == ("A",)
+        assert tree.leaf_of["R"].lifted == ()
+
+
+class TestFreeVariables:
+    def test_free_variable_stays_key(self):
+        query = Query("Q", (R, S), free=("A",))
+        order = toy_variable_order()
+        tree = build_view_tree(query, order)
+        assert tree.root.key == ("A",)
+        assert tree.root.is_free
+        assert tree.root.marginalized == ()
+
+    def test_lifting_free_variable_rejected(self):
+        query = Query("Q", (R, S), spec=SumSpec("A"), free=("A",))
+        with pytest.raises(QueryError):
+            build_view_tree(query, toy_variable_order())
+
+
+class TestVirtualRoot:
+    def test_disconnected_query_gets_wrapper(self):
+        query = Query(
+            "Q",
+            (RelationSchema("R", ("A",)), RelationSchema("S", ("B",))),
+            spec=CountSpec(),
+        )
+        tree = build_view_tree(query)
+        assert tree.root.name == "V_Q"
+        assert len(tree.root.children) == 2
+        assert tree.root.key == ()
+
+    def test_single_relation_query(self):
+        query = Query("Q", (RelationSchema("R", ("A", "B")),), spec=CountSpec())
+        tree = build_view_tree(query)
+        # no variables: the leaf view is the root
+        assert tree.root.is_leaf
+        assert tree.root.key == ()
+
+
+class TestDefaults:
+    def test_order_defaults_to_planner(self):
+        tree = build_view_tree(toy_count_query())
+        assert tree.root.key == ()
+
+    def test_invalid_order_rejected(self):
+        order = VariableOrder([VONode("A", relations=("R",))])  # S missing
+        with pytest.raises(QueryError):
+            build_view_tree(toy_count_query(), order)
+
+    def test_render_mentions_all_views(self):
+        tree = build_view_tree(toy_count_query(), toy_variable_order())
+        text = tree.render()
+        assert "V@A" in text and "V_R" in text and "V_S" in text

@@ -1,0 +1,66 @@
+"""View node descriptions (used by plans and the maintenance tab)."""
+
+from repro.viewtree.node import View
+
+
+def leaf(**kwargs):
+    defaults = dict(name="V_R", key=("A",), relation="R")
+    defaults.update(kwargs)
+    return View(**defaults)
+
+
+class TestDescribe:
+    def test_leaf_plain(self):
+        assert leaf().describe() == "V_R[A] = R"
+
+    def test_leaf_with_lifts(self):
+        text = leaf(lifted=("B", "C")).describe()
+        assert text == "V_R[A] = R lifting (B, C)"
+
+    def test_inner_marginalizing(self):
+        child = leaf()
+        view = View(
+            name="V@A",
+            key=(),
+            variable="A",
+            children=(child,),
+            marginalized=("A",),
+        )
+        assert view.describe() == "V@A[] = Σ_A V_R"
+
+    def test_inner_with_lifted_variable(self):
+        child = leaf()
+        view = View(
+            name="V@A",
+            key=(),
+            variable="A",
+            children=(child,),
+            lifted=("A",),
+            marginalized=("A",),
+        )
+        assert "g_A" in view.describe()
+
+    def test_free_variable_keeps_key(self):
+        child = leaf()
+        view = View(
+            name="V@A",
+            key=("A",),
+            variable="A",
+            children=(child,),
+            is_free=True,
+        )
+        assert view.describe() == "V@A[A] = V_R"
+
+    def test_join_of_children(self):
+        view = View(
+            name="V@A",
+            key=(),
+            variable="A",
+            children=(leaf(), leaf(name="V_S", relation="S")),
+            marginalized=("A",),
+        )
+        assert "V_R ⋈ V_S" in view.describe()
+
+    def test_is_leaf(self):
+        assert leaf().is_leaf
+        assert not View(name="V@A", key=(), variable="A", children=(leaf(),)).is_leaf
