@@ -6,7 +6,6 @@ figure walks through. Assertions pin the figure's numbers so the bench
 doubles as a regression test.
 """
 
-import pytest
 
 from repro.data import deletes, inserts
 from repro.datasets import (

@@ -8,7 +8,6 @@ over joins of five relations on one thread". Absolute numbers are CPython,
 not the authors' compiled C++; see EXPERIMENTS.md.
 """
 
-import pytest
 
 from repro.datasets import continuous_covar_features, retailer_query
 from repro.engine import FIVMEngine

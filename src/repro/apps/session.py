@@ -10,7 +10,7 @@ updates, then let the application tabs read the refreshed payload.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Tuple
 
 from repro.data.database import Database

@@ -29,6 +29,7 @@ from repro.apps import (
     ModelSelectionApp,
     RegressionApp,
 )
+from repro.data import single, tuple_events
 from repro.datasets import (
     FAVORITA_SCHEMAS,
     RETAILER_SCHEMAS,
@@ -199,7 +200,19 @@ def cmd_bench(args) -> int:
     n_updates = sum(
         sum(abs(m) for m in delta.data.values()) for _n, delta in batches
     )
-    print(f"# engine comparison on {args.dataset} (count ring)")
+    if args.ingest == "tuple":
+        # Tuple-at-a-time baseline: one apply() per single ±1 update.
+        schemas = {name: delta.schema for name, delta in batches}
+        updates = [
+            (name, single(schemas[name], row, step))
+            for name, row, step in tuple_events(batches)
+        ]
+    else:
+        updates = batches
+    print(
+        f"# engine comparison on {args.dataset} "
+        f"(count ring, ingest={args.ingest}, batch size {args.batch_size})"
+    )
     print(f"{'engine':>14} {'init (s)':>9} {'maintain (s)':>13} {'updates/s':>11}")
     results = []
     for engine_cls in (FIVMEngine, FirstOrderEngine, NaiveEngine):
@@ -208,8 +221,12 @@ def cmd_bench(args) -> int:
         engine.initialize(db)
         init_s = time.perf_counter() - started
         started = time.perf_counter()
-        for name, delta in batches:
-            engine.apply(name, delta)
+        if args.ingest == "stream":
+            # Decompose to single-tuple events; the engine's UpdateBatcher
+            # coalesces them back into --batch-size batches.
+            engine.apply_stream(tuple_events(batches), batch_size=args.batch_size)
+        else:
+            engine.apply_batch(updates)
         seconds = time.perf_counter() - started
         results.append(engine.result())
         print(
@@ -262,6 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--batches", type=int, default=5)
     bench.add_argument("--batch-size", type=int, default=100)
     bench.add_argument("--insert-ratio", type=float, default=0.7)
+    bench.add_argument(
+        "--ingest",
+        choices=("batch", "tuple", "stream"),
+        default="batch",
+        help=(
+            "batch: apply pre-built batches; tuple: one apply per tuple; "
+            "stream: single-tuple events re-coalesced by the UpdateBatcher"
+        ),
+    )
     bench.set_defaults(func=cmd_bench)
     return parser
 

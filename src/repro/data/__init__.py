@@ -1,7 +1,15 @@
-"""Relations, schemas, databases and deltas (the storage layer)."""
+"""Relations, schemas, databases, deltas and batching (the storage layer)."""
 
+from repro.data.batcher import UpdateBatcher, batch_events
 from repro.data.database import Database
-from repro.data.delta import delta_of, deletes, inserts, split_delta
+from repro.data.delta import (
+    delta_of,
+    deletes,
+    inserts,
+    single,
+    split_delta,
+    tuple_events,
+)
 from repro.data.relation import Relation
 from repro.data.schema import DatabaseSchema, RelationSchema
 
@@ -10,8 +18,12 @@ __all__ = [
     "Relation",
     "DatabaseSchema",
     "RelationSchema",
+    "UpdateBatcher",
+    "batch_events",
     "inserts",
     "deletes",
     "delta_of",
+    "single",
     "split_delta",
+    "tuple_events",
 ]

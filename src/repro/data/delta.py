@@ -10,7 +10,36 @@ from typing import Iterable, Tuple
 
 from repro.data.relation import Relation
 
-__all__ = ["inserts", "deletes", "delta_of", "split_delta"]
+__all__ = ["inserts", "deletes", "delta_of", "single", "split_delta", "tuple_events"]
+
+
+def tuple_events(batches: Iterable[Tuple[str, Relation]]):
+    """Decompose ``(name, delta)`` batches into single-tuple ``±1`` events.
+
+    A key with multiplicity ``m`` yields ``|m|`` events of sign ``m`` —
+    the canonical tuple-at-a-time form of a batched stream, consumed by
+    :meth:`~repro.engine.base.MaintenanceEngine.apply_stream` and the
+    ingestion benchmarks.
+    """
+    for name, delta in batches:
+        for row, multiplicity in delta.data.items():
+            step = 1 if multiplicity > 0 else -1
+            for _ in range(abs(multiplicity)):
+                yield name, row, step
+
+
+def single(
+    schema: Tuple[str, ...], row: Tuple, multiplicity: int = 1, name: str = ""
+) -> Relation:
+    """Single-tuple delta: one row with a signed multiplicity.
+
+    The tuple-at-a-time baseline the batched pipeline is measured against;
+    ``multiplicity=0`` yields an empty delta.
+    """
+    delta = Relation(schema, name=name)
+    if multiplicity:
+        delta.data[tuple(row)] = multiplicity
+    return delta
 
 
 def inserts(schema: Tuple[str, ...], rows: Iterable[Tuple], name: str = "") -> Relation:

@@ -18,15 +18,22 @@ physically removes the key, and view sizes track live data.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import DataError, SchemaError
 from repro.rings.base import Ring
 from repro.rings.scalar import Z
 
-__all__ = ["Relation"]
+__all__ = ["Relation", "SCALAR_FASTPATH"]
 
 Key = Tuple
+
+#: Global switch for the scalar-ring fast paths (numeric payloads bypass
+#: generic ring dispatch in join/marginalize/lift/add_inplace). On by
+#: default; benchmarks flip it off to measure the win, and it is a safety
+#: hatch should a custom scalar ring misbehave.
+SCALAR_FASTPATH = True
 
 
 def _positions(schema: Tuple[str, ...], attrs: Iterable[str]) -> Tuple[int, ...]:
@@ -35,6 +42,26 @@ def _positions(schema: Tuple[str, ...], attrs: Iterable[str]) -> Tuple[int, ...]
         return tuple(index[attr] for attr in attrs)
     except KeyError as exc:
         raise SchemaError(f"attribute {exc.args[0]!r} not in schema {schema!r}") from None
+
+
+_EMPTY = ()
+
+
+def _hook_getter(positions: Tuple[int, ...]) -> Callable[[Key], Any]:
+    """Compiled extractor for internal hash keys (scalar when unary)."""
+    if not positions:
+        return lambda key: _EMPTY
+    return itemgetter(*positions)
+
+
+def _key_getter(positions: Tuple[int, ...]) -> Callable[[Key], Tuple]:
+    """Compiled extractor that always yields a tuple (for result keys)."""
+    if not positions:
+        return lambda key: _EMPTY
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda key: (key[position],)
+    return itemgetter(*positions)
 
 
 class Relation:
@@ -176,10 +203,23 @@ class Relation:
         self._check_compatible(other)
         ring = self.ring
         data = self.data
+        if SCALAR_FASTPATH and ring.is_scalar:
+            # Numeric payloads: plain +, truthiness as the zero test.
+            for key, payload in other.data.items():
+                existing = data.get(key)
+                total = payload if existing is None else existing + payload
+                if total:
+                    data[key] = total
+                elif existing is not None:
+                    del data[key]
+            return self
         for key, payload in other.data.items():
             existing = data.get(key)
             if existing is None:
-                data[key] = payload
+                # Skip ring-zero payloads so cancelled batches never park
+                # dead entries (long streams would otherwise leak them).
+                if not ring.is_zero(payload):
+                    data[key] = payload
             else:
                 total = ring.add(existing, payload)
                 if ring.is_zero(total):
@@ -238,6 +278,58 @@ class Relation:
             return result
         pos_a = _positions(schema_a, shared)
         pos_b = _positions(schema_b, shared)
+        if SCALAR_FASTPATH and ring.is_scalar:
+            # Tight loops for numeric payloads: native * and +, truthiness
+            # as the zero test, compiled key extractors, no ring dispatch
+            # per output tuple. Same index-the-smaller-side strategy as
+            # the generic path below.
+            hook_of_a = _hook_getter(pos_a)
+            hook_of_b = _hook_getter(pos_b)
+            rest_of_b = _key_getter(keep_b)
+            out_get = out.get
+            index: Dict[Key, list] = {}
+            if len(self.data) <= len(other.data):
+                for key_a, payload_a in self.data.items():
+                    index.setdefault(hook_of_a(key_a), []).append((key_a, payload_a))
+                for key_b, payload_b in other.data.items():
+                    matches = index.get(hook_of_b(key_b))
+                    if matches is None:
+                        continue
+                    rest_b = rest_of_b(key_b)
+                    for key_a, payload_a in matches:
+                        key = key_a + rest_b
+                        existing = out_get(key)
+                        total = (
+                            payload_a * payload_b
+                            if existing is None
+                            else existing + payload_a * payload_b
+                        )
+                        if total:
+                            out[key] = total
+                        elif existing is not None:
+                            del out[key]
+            else:
+                for key_b, payload_b in other.data.items():
+                    index.setdefault(hook_of_b(key_b), []).append(
+                        (rest_of_b(key_b), payload_b)
+                    )
+                for key_a, payload_a in self.data.items():
+                    matches = index.get(hook_of_a(key_a))
+                    if matches is None:
+                        continue
+                    for rest_b, payload_b in matches:
+                        key = key_a + rest_b
+                        existing = out_get(key)
+                        total = (
+                            payload_a * payload_b
+                            if existing is None
+                            else existing + payload_a * payload_b
+                        )
+                        if total:
+                            out[key] = total
+                        elif existing is not None:
+                            del out[key]
+            return result
         # Index the smaller input on the shared attributes; probe the larger.
         if len(self.data) <= len(other.data):
             index: Dict[Key, list] = {}
@@ -310,6 +402,25 @@ class Relation:
             )
         result = Relation(keep, ring)
         out = result.data
+        if SCALAR_FASTPATH and ring.is_scalar:
+            group_of = _key_getter(keep_pos)
+            out_get = out.get
+            if lift_items:
+                for key, payload in self.data.items():
+                    for position, lift_fn in lift_items:
+                        payload = payload * lift_fn(key[position])
+                    group = group_of(key)
+                    existing = out_get(group)
+                    out[group] = payload if existing is None else existing + payload
+            else:
+                for key, payload in self.data.items():
+                    group = group_of(key)
+                    existing = out_get(group)
+                    out[group] = payload if existing is None else existing + payload
+            zero_keys = [key for key, payload in out.items() if not payload]
+            for key in zero_keys:
+                del out[key]
+            return result
         add_inplace = ring.add_inplace
         copy = ring.copy
         mul = ring.mul
@@ -355,6 +466,21 @@ class Relation:
         result = Relation(keep, ring)
         out = result.data
         one = ring.one()
+        if SCALAR_FASTPATH and ring.is_scalar:
+            group_of = _key_getter(keep_pos)
+            out_get = out.get
+            for key, multiplicity in self.data.items():
+                payload = one
+                for position, lift_fn in lift_items:
+                    payload = payload * lift_fn(key[position])
+                payload = payload * multiplicity
+                group = group_of(key)
+                existing = out_get(group)
+                out[group] = payload if existing is None else existing + payload
+            zero_keys = [key for key, payload in out.items() if not payload]
+            for key in zero_keys:
+                del out[key]
+            return result
         mul = ring.mul
         scale = ring.scale
         add_inplace = ring.add_inplace

@@ -11,7 +11,7 @@ price (fuel costs) and holidays, so the learned models have real signal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 

@@ -30,7 +30,7 @@ from repro.data.schema import RelationSchema
 from repro.query.query import Query
 from repro.query.variable_order import VONode, VariableOrder
 from repro.rings.lifting import Feature
-from repro.rings.specs import CovarSpec, MISpec, PayloadSpec
+from repro.rings.specs import PayloadSpec
 
 __all__ = [
     "RetailerConfig",

@@ -13,8 +13,6 @@ categorical, and MI with B, C, D categorical.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.data.schema import RelationSchema

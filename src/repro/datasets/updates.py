@@ -9,12 +9,12 @@ repeated runs with one seed yield identical streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.database import Database
+from repro.data.delta import tuple_events
 from repro.data.relation import Relation
 from repro.errors import DataError
 
@@ -125,3 +125,13 @@ class UpdateStream:
             name, delta = self.next_batch()
             emitted += sum(abs(m) for m in delta.data.values())
             yield name, delta
+
+    def tuples(self, total_updates: int) -> Iterator[Tuple[str, Tuple, int]]:
+        """Yield ~``total_updates`` single-tuple events ``(name, row, ±1)``.
+
+        The events decompose the same batches :meth:`bulk` would produce
+        (same seed → same cumulative effect), so one stream instance can
+        feed the tuple-at-a-time baseline and a fresh instance with the
+        same seed the batched pipeline, and the results must agree.
+        """
+        yield from tuple_events(self.bulk(total_updates))

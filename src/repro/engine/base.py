@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Relation
@@ -87,9 +87,61 @@ class MaintenanceEngine(ABC):
     # ------------------------------------------------------------------
 
     def apply_batch(self, updates: Iterable[Tuple[str, Relation]]) -> None:
-        """Apply a sequence of per-relation deltas."""
+        """Apply a sequence of per-relation deltas, one at a time."""
         for relation_name, delta in updates:
             self.apply(relation_name, delta)
+
+    def apply_many(self, updates: Iterable[Tuple[str, Relation]]) -> None:
+        """Apply a sequence of deltas, coalescing per relation first.
+
+        All deltas targeting one relation are sum-merged into a single
+        delta (cancelling pairs vanish), so each relation's maintenance
+        path runs once per call instead of once per input delta — for
+        F-IVM, one leaf-to-root traversal per touched relation.
+        Maintenance is exact, so the final result is the same as applying
+        the deltas one at a time; only intermediate states differ.
+        Merged relations are applied in first-seen order.
+        """
+        merged: Dict[str, Relation] = {}
+        order = []
+        for relation_name, delta in updates:
+            existing = merged.get(relation_name)
+            if existing is None:
+                merged[relation_name] = delta.copy()
+                order.append(relation_name)
+            else:
+                existing.add_inplace(delta)
+        for relation_name in order:
+            delta = merged[relation_name]
+            if delta.data:
+                self.apply(relation_name, delta)
+
+    def apply_stream(
+        self,
+        events: Iterable[Tuple[str, Tuple, int]],
+        batch_size: int = 1000,
+    ) -> None:
+        """Consume a stream of single-tuple updates in coalesced batches.
+
+        ``events`` yields ``(relation_name, row, multiplicity)`` triples
+        (e.g. from :meth:`~repro.datasets.updates.UpdateStream.tuples`).
+        An :class:`~repro.data.batcher.UpdateBatcher` merges them into
+        per-relation deltas of roughly ``batch_size`` updates, and each
+        flushed batch goes through :meth:`apply_many`. The final partial
+        batch is flushed when the stream ends.
+        """
+        from repro.data.batcher import UpdateBatcher
+
+        schemas = {
+            name: self.query.schema_of(name).attributes
+            for name in self.query.relation_names
+        }
+        batcher = UpdateBatcher(
+            schemas, batch_size=batch_size, on_flush=self.apply_many
+        )
+        for relation_name, row, multiplicity in events:
+            batcher.add(relation_name, row, multiplicity)
+        batcher.close()
 
     def _require_initialized(self) -> None:
         if not self._initialized:

@@ -62,6 +62,23 @@ class NaiveEngine(MaintenanceEngine):
         else:
             self._stale = True
 
+    def apply_many(self, updates) -> None:
+        """Coalesce the batch, then re-evaluate once at the end.
+
+        Without this override a refresh-per-apply naive engine would
+        re-evaluate once per touched relation; deferring to a single
+        refresh is what makes batching pay off for the baseline too.
+        """
+        refresh = self.refresh_on_apply
+        self.refresh_on_apply = False
+        try:
+            super().apply_many(updates)
+        finally:
+            self.refresh_on_apply = refresh
+        if refresh and self._stale:
+            self._result = evaluate_tree(self.tree, self._relations)
+            self._stale = False
+
     def result(self) -> Relation:
         self._require_initialized()
         if self._stale:

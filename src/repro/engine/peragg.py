@@ -16,7 +16,6 @@ comparison, which ran the regression workload.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -7,7 +7,7 @@ equi-width binnings from observed data so callers don't hand-tune ranges.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable
 
 from repro.data.relation import Relation
 from repro.errors import DataError

@@ -10,7 +10,7 @@ wins come from.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 __all__ = ["Hypergraph"]
 

@@ -19,10 +19,10 @@ grow, matching F-IVM's behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.errors import QueryError
-from repro.query.hypergraph import Hypergraph
+
 from repro.query.query import Query
 from repro.query.variable_order import VONode, VariableOrder
 

@@ -14,7 +14,7 @@ variables, the view tree — is ring-agnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.data.schema import RelationSchema
 from repro.errors import QueryError

@@ -44,6 +44,13 @@ class Ring(ABC):
     #: Whether :meth:`neg` is supported (False for the bool/min-plus semirings).
     has_negation: bool = True
 
+    #: True when payloads are plain Python numbers whose ``+``/``*`` agree
+    #: with :meth:`add`/:meth:`mul` and whose truthiness agrees with
+    #: :meth:`is_zero` (``bool(x) == (not is_zero(x))``). The relation
+    #: operations use this to run tight accumulator loops that skip ring
+    #: dispatch entirely (see :mod:`repro.data.relation`).
+    is_scalar: bool = False
+
     @abstractmethod
     def zero(self) -> Any:
         """Return the additive identity."""

@@ -16,7 +16,6 @@ inverses, so they support insert-only streams (``has_negation = False``).
 from __future__ import annotations
 
 import math
-from typing import Any
 
 from repro.errors import RingError
 from repro.rings.base import Ring
@@ -28,6 +27,7 @@ class IntegerRing(Ring):
     """The ring of integers Z; payloads are plain ``int``."""
 
     name = "Z"
+    is_scalar = True
 
     def zero(self) -> int:
         return 0
@@ -66,6 +66,12 @@ class FloatRing(Ring):
     def __init__(self, zero_tolerance: float = 0.0):
         #: Magnitudes at or below this are considered zero when pruning.
         self.zero_tolerance = zero_tolerance
+
+    @property
+    def is_scalar(self) -> bool:
+        # Truthiness-based zero pruning in the fast paths only matches
+        # is_zero when the tolerance is exactly 0.
+        return self.zero_tolerance == 0.0
 
     def zero(self) -> float:
         return 0.0

@@ -18,7 +18,6 @@ from repro.errors import RingError
 from repro.rings.base import Ring
 from repro.rings.cofactor import CofactorLayout, GeneralCofactorRing, NumericCofactorRing
 from repro.rings.lifting import (
-    CATEGORICAL,
     CONTINUOUS,
     Feature,
     LiftFunction,
@@ -26,7 +25,7 @@ from repro.rings.lifting import (
     numeric_cofactor_lift,
 )
 from repro.rings.relational import RelationRing
-from repro.rings.scalar import FloatRing, IntegerRing, Z
+from repro.rings.scalar import FloatRing, Z
 
 __all__ = [
     "PayloadPlan",

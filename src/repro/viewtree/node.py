@@ -11,7 +11,7 @@ free, in which case it stays a key).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 __all__ = ["View"]

@@ -251,3 +251,50 @@ def test_lift_distributes_over_union(r1, r2):
     combined = r1.add(r2).lift(ring, ("A",), lifts)
     separate = r1.lift(ring, ("A",), lifts).add(r2.lift(ring, ("A",), lifts))
     assert combined.close_to(separate, 1e-9)
+
+
+class TestZeroDropRegression:
+    """add_inplace must never park ring-zero payloads — cancelled updates
+    in long streams would otherwise leak dead entries (issue #1)."""
+
+    def test_zero_payload_for_absent_key_is_not_inserted(self):
+        target = Relation(("A",), Z, {("x",): 1})
+        other = Relation(("A",))
+        other.data[("y",)] = 0  # bypass constructor pruning
+        target.add_inplace(other)
+        assert ("y",) not in target.data
+
+    def test_zero_payload_skipped_on_generic_path_too(self, monkeypatch):
+        import repro.data.relation as relation_module
+
+        monkeypatch.setattr(relation_module, "SCALAR_FASTPATH", False)
+        target = Relation(("A",), Z, {("x",): 1})
+        other = Relation(("A",))
+        other.data[("y",)] = 0
+        target.add_inplace(other)
+        assert ("y",) not in target.data
+
+    def test_tolerance_ring_drops_near_zero_payloads(self):
+        ring = FloatRing(zero_tolerance=1e-9)
+        assert not ring.is_scalar  # tolerance forces the generic path
+        target = Relation(("A",), ring, {("x",): 1.0})
+        other = Relation(("A",), ring)
+        other.data[("y",)] = 1e-12
+        target.add_inplace(other)
+        assert ("y",) not in target.data
+
+    def test_cancellation_removes_key_on_both_paths(self, monkeypatch):
+        import repro.data.relation as relation_module
+
+        for fastpath in (True, False):
+            monkeypatch.setattr(relation_module, "SCALAR_FASTPATH", fastpath)
+            target = Relation(("A",), Z, {("x",): 2})
+            other = Relation(("A",), Z, {("x",): -2})
+            target.add_inplace(other)
+            assert target.data == {}
+
+    def test_scalar_fastpath_flag_is_on_by_default(self):
+        import repro.data.relation as relation_module
+
+        assert relation_module.SCALAR_FASTPATH is True
+        assert Z.is_scalar and FloatRing().is_scalar

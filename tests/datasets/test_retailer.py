@@ -1,10 +1,8 @@
 """Synthetic Retailer: schemas, determinism, correlations, view tree."""
 
-import pytest
 
 from repro.datasets import (
     RETAILER_SCHEMAS,
-    RetailerConfig,
     continuous_covar_features,
     generate_retailer,
     mi_features,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data import Database, Relation, RelationSchema, inserts
+from repro.data import Relation, inserts
 from repro.datasets import toy_count_query, toy_database, toy_variable_order
 from repro.engine import FIVMEngine, FirstOrderEngine, NaiveEngine
 from repro.errors import EngineError

@@ -7,7 +7,6 @@ float tolerance. This is the paper's implicit correctness claim: the
 maintenance strategy never changes the query semantics, only the cost.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data import Database, Relation, RelationSchema
+from repro.data import Database, Relation
 from repro.datasets import toy_count_query, toy_database, toy_variable_order
 from repro.engine import evaluate_tree, evaluate_view
 from repro.errors import EngineError

@@ -6,7 +6,6 @@ from the figure.
 """
 
 import numpy as np
-import pytest
 
 from repro.data import deletes, inserts
 from repro.datasets import (

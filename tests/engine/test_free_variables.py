@@ -6,7 +6,6 @@ planner's free-at-the-top orders: free variables *below* bound variables
 and free variables spread across branches.
 """
 
-import pytest
 
 from repro.data import Database, Relation, RelationSchema, delta_of, inserts
 from repro.engine import FIVMEngine, NaiveEngine

@@ -9,7 +9,6 @@ delete-dominated phases that shrink the database back down.
 import pytest
 
 from repro.datasets import (
-    RETAILER_SCHEMAS,
     RetailerConfig,
     UpdateStream,
     generate_retailer,
@@ -19,6 +18,8 @@ from repro.datasets import (
 )
 from repro.engine import FIVMEngine, NaiveEngine
 from repro.rings import CountSpec, CovarSpec, Feature
+
+pytestmark = pytest.mark.slow
 
 CONFIG = RetailerConfig(locations=5, dates=8, items=25, inventory_rows=300, seed=77)
 

@@ -14,7 +14,6 @@ against numpy, including under incremental updates to matrix entries.
 """
 
 import numpy as np
-import pytest
 
 from repro.data import Database, Relation, RelationSchema, delta_of
 from repro.engine import FIVMEngine, NaiveEngine

@@ -7,7 +7,6 @@ payloads) must be much smaller than the listing representation of the
 join it summarizes.
 """
 
-import pytest
 
 from repro.datasets import (
     RetailerConfig,

@@ -7,7 +7,6 @@ into a min-cost aggregate — with zero engine changes. Semirings have no
 additive inverses, so delete support degrades loudly, not silently.
 """
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """The generalized cofactor ring (over float and relational scalars)."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -15,7 +15,6 @@ from repro.rings import (
     RelationRing,
     SumProductSpec,
     SumSpec,
-    Z,
 )
 
 CONT = (Feature.continuous("B"), Feature.continuous("C"))

@@ -27,6 +27,8 @@ from repro.engine import NaiveEngine
 from repro.ml.discretize import binning_for_attribute
 from repro.rings import CovarSpec, Feature
 
+pytestmark = pytest.mark.slow
+
 CONFIG = RetailerConfig(locations=6, dates=10, items=30, inventory_rows=500, seed=23)
 
 
