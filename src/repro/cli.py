@@ -209,14 +209,19 @@ def cmd_bench(args) -> int:
         ]
     else:
         updates = batches
+    view_index = not args.no_view_index
     print(
         f"# engine comparison on {args.dataset} "
-        f"(count ring, ingest={args.ingest}, batch size {args.batch_size})"
+        f"(count ring, ingest={args.ingest}, batch size {args.batch_size}, "
+        f"view-index={'on' if view_index else 'off'})"
     )
     print(f"{'engine':>14} {'init (s)':>9} {'maintain (s)':>13} {'updates/s':>11}")
     results = []
     for engine_cls in (FIVMEngine, FirstOrderEngine, NaiveEngine):
-        engine = engine_cls(query_of(CountSpec()), order=order)
+        kwargs = {}
+        if engine_cls is FIVMEngine:
+            kwargs["use_view_index"] = view_index
+        engine = engine_cls(query_of(CountSpec()), order=order, **kwargs)
         started = time.perf_counter()
         engine.initialize(db)
         init_s = time.perf_counter() - started
@@ -287,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
             "batch: apply pre-built batches; tuple: one apply per tuple; "
             "stream: single-tuple events re-coalesced by the UpdateBatcher"
         ),
+    )
+    bench.add_argument(
+        "--no-view-index",
+        action="store_true",
+        help="ablation: disable F-IVM's persistent view indexes (scan siblings)",
     )
     bench.set_defaults(func=cmd_bench)
     return parser

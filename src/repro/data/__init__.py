@@ -10,12 +10,15 @@ from repro.data.delta import (
     split_delta,
     tuple_events,
 )
+from repro.data.index import IndexedRelation, RelationIndex
 from repro.data.relation import Relation
 from repro.data.schema import DatabaseSchema, RelationSchema
 
 __all__ = [
     "Database",
     "Relation",
+    "RelationIndex",
+    "IndexedRelation",
     "DatabaseSchema",
     "RelationSchema",
     "UpdateBatcher",

@@ -1,0 +1,203 @@
+"""Persistent hash indexes over relations (the view-index subsystem).
+
+F-IVM's complexity claim — an update costs O(|delta| x matching sibling
+entries) along one leaf-to-root path — needs the materialized sibling
+views to be *permanently* indexed on the attributes the maintenance
+triggers probe. :class:`RelationIndex` is that index: a hash map from a
+projection of the key (the "hook") to the bucket of live entries sharing
+it. :class:`IndexedRelation` is a :class:`~repro.data.relation.Relation`
+that carries any number of such indexes and keeps them consistent through
+:meth:`~repro.data.relation.Relation.add_inplace`, the only mutation the
+engines perform on materialized views.
+
+Buckets hold ``key -> payload`` entries, so a probe iterates matches
+without touching the relation's main dict, and a delete that cancels the
+last entry of a bucket removes the bucket itself — index memory tracks
+live data exactly as view memory does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+import repro.data.relation as relation_module
+from repro.data.relation import Relation, _hook_getter, _positions
+from repro.errors import DataError
+
+__all__ = ["RelationIndex", "IndexedRelation"]
+
+Key = Tuple
+
+
+class RelationIndex:
+    """Hash index from a key projection to the bucket of matching entries.
+
+    Parameters
+    ----------
+    schema:
+        The indexed relation's key schema.
+    attrs:
+        Attributes the index hashes on, a subset of ``schema``. The hook
+        of a key is its projection onto ``attrs`` in this order (a bare
+        scalar when unary, mirroring the join hot paths). ``attrs`` may
+        be empty: every entry then lives in one bucket, which is how a
+        sibling with no shared attributes (a cartesian step) is probed.
+    """
+
+    __slots__ = ("attrs", "positions", "hook_of", "buckets", "probes", "hits")
+
+    def __init__(self, schema: Tuple[str, ...], attrs: Iterable[str]):
+        self.attrs = tuple(attrs)
+        if len(set(self.attrs)) != len(self.attrs):
+            raise DataError(f"duplicate attribute in index attrs {self.attrs!r}")
+        self.positions = _positions(tuple(schema), self.attrs)
+        self.hook_of = _hook_getter(self.positions)
+        self.buckets: Dict[Any, Dict[Key, Any]] = {}
+        #: Probe-side counters (filled by ``Relation.join_probe``).
+        self.probes = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+
+    def build(self, data: Mapping[Key, Any]) -> "RelationIndex":
+        """(Re)populate the index from a relation's live entries."""
+        hook_of = self.hook_of
+        buckets: Dict[Any, Dict[Key, Any]] = {}
+        for key, payload in data.items():
+            hook = hook_of(key)
+            bucket = buckets.get(hook)
+            if bucket is None:
+                buckets[hook] = {key: payload}
+            else:
+                bucket[key] = payload
+        self.buckets = buckets
+        return self
+
+    def set(self, key: Key, payload: Any) -> None:
+        """Insert or refresh one live entry."""
+        hook = self.hook_of(key)
+        bucket = self.buckets.get(hook)
+        if bucket is None:
+            self.buckets[hook] = {key: payload}
+        else:
+            bucket[key] = payload
+
+    def discard(self, key: Key) -> None:
+        """Remove one entry; the bucket vanishes when it empties."""
+        hook = self.hook_of(key)
+        bucket = self.buckets.get(hook)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self.buckets[hook]
+
+    def get(self, hook: Any) -> Optional[Dict[Key, Any]]:
+        """Bucket of entries whose keys project to ``hook`` (None if empty)."""
+        return self.buckets.get(hook)
+
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Live entries across all buckets (equals the relation's size)."""
+        return sum(len(bucket) for bucket in self.buckets.values())
+
+    def bucket_count(self) -> int:
+        return len(self.buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RelationIndex on {self.attrs!r} "
+            f"|{self.bucket_count()} buckets, {self.entry_count()} entries|>"
+        )
+
+
+class IndexedRelation(Relation):
+    """A relation carrying persistent indexes kept consistent on mutation.
+
+    The engines mutate materialized views exclusively through
+    :meth:`add_inplace`; this subclass folds index maintenance into that
+    call, so an indexed view costs one extra dict write per index per
+    changed key — never a rebuild. ``copy``/``empty_like`` intentionally
+    return plain (unindexed) relations: indexes belong to the long-lived
+    materialization, not to transient deltas derived from it.
+    """
+
+    __slots__ = ("indexes",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.indexes: Dict[Tuple[str, ...], RelationIndex] = {}
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "IndexedRelation":
+        """Adopt ``relation``'s entries (shared dict, no copy) as indexed."""
+        indexed = cls(relation.schema, relation.ring, name=relation.name)
+        indexed.data = relation.data
+        return indexed
+
+    # ------------------------------------------------------------------
+
+    def add_index(self, attrs: Iterable[str]) -> RelationIndex:
+        """Create (or return the existing) index on ``attrs``, built now."""
+        attrs = tuple(attrs)
+        index = self.indexes.get(attrs)
+        if index is None:
+            index = RelationIndex(self.schema, attrs).build(self.data)
+            self.indexes[attrs] = index
+        return index
+
+    def index_on(self, attrs: Iterable[str]) -> RelationIndex:
+        """The index on exactly ``attrs``; raises if it was never built."""
+        try:
+            return self.indexes[tuple(attrs)]
+        except KeyError:
+            raise DataError(
+                f"no index on {tuple(attrs)!r} for relation {self.name!r} "
+                f"(have {sorted(self.indexes)!r})"
+            ) from None
+
+    # ------------------------------------------------------------------
+
+    def add_inplace(self, other: Relation) -> "IndexedRelation":
+        """Union with payload addition, updating every index in the same pass."""
+        indexes = tuple(self.indexes.values())
+        if not indexes:
+            super().add_inplace(other)
+            return self
+        self._check_compatible(other)
+        ring = self.ring
+        data = self.data
+        if relation_module.SCALAR_FASTPATH and ring.is_scalar:
+            for key, payload in other.data.items():
+                existing = data.get(key)
+                total = payload if existing is None else existing + payload
+                if total:
+                    data[key] = total
+                    for index in indexes:
+                        index.set(key, total)
+                elif existing is not None:
+                    del data[key]
+                    for index in indexes:
+                        index.discard(key)
+            return self
+        is_zero = ring.is_zero
+        add = ring.add
+        for key, payload in other.data.items():
+            existing = data.get(key)
+            if existing is None:
+                # Mirror Relation.add_inplace: never park ring-zero payloads.
+                if not is_zero(payload):
+                    data[key] = payload
+                    for index in indexes:
+                        index.set(key, payload)
+            else:
+                total = add(existing, payload)
+                if is_zero(total):
+                    del data[key]
+                    for index in indexes:
+                        index.discard(key)
+                else:
+                    data[key] = total
+                    for index in indexes:
+                        index.set(key, total)
+        return self

@@ -19,11 +19,23 @@ physically removes the key, and view sizes track live data.
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import DataError, SchemaError
 from repro.rings.base import Ring
 from repro.rings.scalar import Z
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.index import RelationIndex
 
 __all__ = ["Relation", "SCALAR_FASTPATH"]
 
@@ -369,6 +381,84 @@ class Relation:
                         out.pop(key, None)
                     else:
                         out[key] = total
+        return result
+
+    def join_probe(self, other: "Relation", index: "RelationIndex") -> "Relation":
+        """Natural join driven by ``other``'s persistent index.
+
+        Semantically identical to ``self.join(other)`` — same result
+        schema and payloads — but instead of building a hash index per
+        call and scanning the larger side, it loops over ``self`` (meant
+        to be a small delta) and probes ``index``, a
+        :class:`~repro.data.index.RelationIndex` kept on ``other``'s
+        shared attributes. Cost is O(|self| x matches), independent of
+        |other|, which is the access path F-IVM's per-update complexity
+        claim assumes. ``index.probes``/``index.hits`` are advanced so
+        engines can report probe statistics.
+        """
+        if self.ring is not other.ring and type(self.ring) is not type(other.ring):
+            raise DataError(
+                f"cannot join relations over rings {self.ring.name!r} and {other.ring.name!r}"
+            )
+        ring = self.ring
+        schema_a, schema_b = self.schema, other.schema
+        shared = tuple(attr for attr in schema_b if attr in schema_a)
+        if set(index.attrs) != set(shared):
+            raise DataError(
+                f"index on {index.attrs!r} does not match the shared "
+                f"attributes {shared!r} of {schema_a!r} and {schema_b!r}"
+            )
+        keep_b = tuple(i for i, attr in enumerate(schema_b) if attr not in schema_a)
+        result = Relation(schema_a + tuple(schema_b[i] for i in keep_b), ring)
+        if not self.data or not other.data:
+            return result
+        out = result.data
+        # Hook order must match the index's: extract index.attrs, not `shared`.
+        hook_of_a = _hook_getter(_positions(schema_a, index.attrs))
+        rest_of_b = _key_getter(keep_b)
+        buckets_get = index.buckets.get
+        probes = hits = 0
+        if SCALAR_FASTPATH and ring.is_scalar:
+            out_get = out.get
+            for key_a, payload_a in self.data.items():
+                probes += 1
+                bucket = buckets_get(hook_of_a(key_a))
+                if not bucket:
+                    continue
+                hits += 1
+                for key_b, payload_b in bucket.items():
+                    key = key_a + rest_of_b(key_b)
+                    existing = out_get(key)
+                    total = (
+                        payload_a * payload_b
+                        if existing is None
+                        else existing + payload_a * payload_b
+                    )
+                    if total:
+                        out[key] = total
+                    elif existing is not None:
+                        del out[key]
+        else:
+            mul = ring.mul
+            add = ring.add
+            is_zero = ring.is_zero
+            for key_a, payload_a in self.data.items():
+                probes += 1
+                bucket = buckets_get(hook_of_a(key_a))
+                if not bucket:
+                    continue
+                hits += 1
+                for key_b, payload_b in bucket.items():
+                    key = key_a + rest_of_b(key_b)
+                    product = mul(payload_a, payload_b)
+                    existing = out.get(key)
+                    total = product if existing is None else add(existing, product)
+                    if is_zero(total):
+                        out.pop(key, None)
+                    else:
+                        out[key] = total
+        index.probes += probes
+        index.hits += hits
         return result
 
     # ------------------------------------------------------------------

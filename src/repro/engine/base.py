@@ -37,7 +37,21 @@ class EngineStatistics:
     batches_applied: int = 0
     tuples_applied: int = 0
     delta_tuples_propagated: int = 0
+    #: Delta keys looked up in persistent view indexes, and how many of
+    #: those lookups found a non-empty bucket (F-IVM with view indexes).
+    index_probes: int = 0
+    index_hits: int = 0
     view_sizes: Dict[str, int] = field(default_factory=dict)
+
+    #: Counter fields carried through engine snapshots (checkpointing).
+    COUNTER_FIELDS = (
+        "updates_applied",
+        "batches_applied",
+        "tuples_applied",
+        "delta_tuples_propagated",
+        "index_probes",
+        "index_hits",
+    )
 
     def record_batch(self, delta: Relation) -> None:
         self.batches_applied += 1
@@ -45,14 +59,18 @@ class EngineStatistics:
         self.tuples_applied += len(delta.data)
 
     def snapshot(self) -> Dict[str, int]:
-        out = {
-            "updates_applied": self.updates_applied,
-            "batches_applied": self.batches_applied,
-            "tuples_applied": self.tuples_applied,
-            "delta_tuples_propagated": self.delta_tuples_propagated,
-        }
+        out = {name: getattr(self, name) for name in self.COUNTER_FIELDS}
         out.update({f"view:{name}": size for name, size in self.view_sizes.items()})
         return out
+
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        """Reset counters to a :meth:`snapshot`'s values (absent keys -> 0).
+
+        ``view:*`` sizes are *not* restored here — engines recompute them
+        from the restored materializations, which is the ground truth.
+        """
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, int(snapshot.get(name, 0)))
 
 
 class MaintenanceEngine(ABC):

@@ -1,6 +1,12 @@
 """View trees: construction (τ), M3 rendering and DOT export."""
 
-from repro.viewtree.builder import ViewTree, build_view_tree
+from repro.viewtree.builder import (
+    ProbePlan,
+    ProbeStep,
+    ViewTree,
+    build_probe_plan,
+    build_view_tree,
+)
 from repro.viewtree.dot import render_tree_dot
 from repro.viewtree.m3 import render_tree_m3, render_view_m3, ring_type_name
 from repro.viewtree.node import View
@@ -9,6 +15,9 @@ __all__ = [
     "View",
     "ViewTree",
     "build_view_tree",
+    "ProbePlan",
+    "ProbeStep",
+    "build_probe_plan",
     "render_tree_m3",
     "render_view_m3",
     "render_tree_dot",

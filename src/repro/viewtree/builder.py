@@ -19,7 +19,7 @@ from repro.query.variable_order import VONode, VariableOrder
 from repro.rings.specs import PayloadPlan
 from repro.viewtree.node import View
 
-__all__ = ["ViewTree", "build_view_tree"]
+__all__ = ["ViewTree", "build_view_tree", "ProbeStep", "ProbePlan", "build_probe_plan"]
 
 
 @dataclass
@@ -184,3 +184,74 @@ def build_view_tree(
     if missing:
         raise QueryError(f"relations without leaf views: {sorted(missing)}")
     return tree
+
+
+# ----------------------------------------------------------------------
+# Probe plans: which sibling views each delta path probes on which keys.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProbeStep:
+    """One sibling probe along a maintenance path.
+
+    ``attrs`` is the probe key — the sibling view's key attributes shared
+    with the running delta at this point of the path, in the sibling-key
+    order the persistent index is built on. An empty ``attrs`` is a
+    cartesian sibling (everything matches)."""
+
+    sibling: str
+    attrs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProbePlan:
+    """Static per-relation probe schedule plus the indexes it requires.
+
+    ``path_steps[R][i]`` lists, for the i-th inner view on R's
+    leaf-to-root path, the sibling probes in execution order;
+    ``index_specs[view]`` is every attribute tuple that view must keep a
+    persistent index on. The plan is a pure function of the view tree, so
+    engines compute it once at construction and the index set never
+    changes at runtime."""
+
+    path_steps: Dict[str, Tuple[Tuple[ProbeStep, ...], ...]]
+    index_specs: Dict[str, Tuple[Tuple[str, ...], ...]]
+
+
+def build_probe_plan(tree: ViewTree) -> ProbePlan:
+    """Compute the probe schedule for every base relation of ``tree``.
+
+    Walks each leaf-to-root path tracking the attribute set of the running
+    delta: lifted to the leaf key, widened by every sibling join, narrowed
+    to the view key by each marginalization. Sibling order is the view's
+    static child order — with index probes the running delta stays
+    delta-sized, so the dynamic smallest-sibling-first heuristic of the
+    scan path buys nothing.
+    """
+    path_steps: Dict[str, Tuple[Tuple[ProbeStep, ...], ...]] = {}
+    index_specs: Dict[str, set] = {}
+    for relation_name in tree.leaf_of:
+        path = tree.path_to_root(relation_name)
+        attrs_now = set(path[0].key)
+        previous = path[0].name
+        per_view: List[Tuple[ProbeStep, ...]] = []
+        for view in path[1:]:
+            steps: List[ProbeStep] = []
+            for child in view.children:
+                if child.name == previous:
+                    continue
+                shared = tuple(attr for attr in child.key if attr in attrs_now)
+                steps.append(ProbeStep(sibling=child.name, attrs=shared))
+                index_specs.setdefault(child.name, set()).add(shared)
+                attrs_now |= set(child.key)
+            per_view.append(tuple(steps))
+            attrs_now = set(view.key)
+            previous = view.name
+        path_steps[relation_name] = tuple(per_view)
+    return ProbePlan(
+        path_steps=path_steps,
+        index_specs={
+            name: tuple(sorted(specs)) for name, specs in index_specs.items()
+        },
+    )

@@ -75,8 +75,27 @@ class TestMemoryReport:
     def test_count_ring_weights(self):
         engine = fresh_engine()
         report = engine.memory_report()
-        assert report["V_R"] == {"entries": 2, "payload_weight": 2}
+        assert report["V_R"]["entries"] == 2
+        assert report["V_R"]["payload_weight"] == 2
         assert report["V@A"]["entries"] == 1
+
+    def test_index_overhead_reported(self):
+        engine = fresh_engine()
+        report = engine.memory_report()
+        # V_R and V_S are each probed by the other's maintenance path on A.
+        assert report["V_R"]["indexes"] == 1
+        assert report["V_R"]["index_entries"] == report["V_R"]["entries"]
+        assert report["V_R"]["index_buckets"] >= 1
+        # The root is never probed, so it carries no index overhead keys.
+        assert "indexes" not in report["V@A"]
+
+    def test_no_index_overhead_when_disabled(self):
+        engine = FIVMEngine(
+            toy_count_query(), order=toy_variable_order(), use_view_index=False
+        )
+        engine.initialize(toy_database())
+        report = engine.memory_report()
+        assert all("indexes" not in entry for entry in report.values())
 
     def test_relational_cofactor_weights_count_annotations(self):
         engine = fresh_engine(toy_covar_categorical_query())

@@ -1,0 +1,295 @@
+"""The view-index subsystem: probe plans, O(delta) maintenance, ablation."""
+
+import pytest
+
+from repro.data import IndexedRelation, deletes, inserts
+from repro.data.delta import delta_of
+from repro.datasets import (
+    RetailerConfig,
+    UpdateStream,
+    generate_retailer,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+    toy_count_query,
+    toy_covar_categorical_query,
+    toy_database,
+    toy_variable_order,
+)
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.engine import FIVMEngine, NaiveEngine
+from repro.query.query import Query
+from repro.query.variable_order import VariableOrder, VONode
+from repro.rings import CountSpec
+from repro.viewtree import build_probe_plan
+
+R_SCHEMA = ("A", "B")
+S_SCHEMA = ("A", "C", "D")
+
+
+def toy_engines():
+    """Fresh toy engines with indexes on and off, plus a naive oracle."""
+    engines = []
+    for flag in (True, False):
+        engine = FIVMEngine(
+            toy_count_query(), order=toy_variable_order(), use_view_index=flag
+        )
+        engine.initialize(toy_database())
+        engines.append(engine)
+    oracle = NaiveEngine(toy_count_query(), order=toy_variable_order())
+    oracle.initialize(toy_database())
+    return engines[0], engines[1], oracle
+
+
+def retailer_setup(seed=5):
+    config = RetailerConfig(
+        locations=4, dates=6, items=20, inventory_rows=200, seed=seed
+    )
+    database = generate_retailer(config)
+    stream = UpdateStream(
+        database,
+        retailer_row_factories(config, database),
+        targets=("Inventory",),
+        batch_size=50,
+        insert_ratio=0.7,
+        seed=seed,
+    )
+    return database, stream
+
+
+class TestProbePlan:
+    def test_toy_plan_indexes_both_siblings_on_join_variable(self):
+        tree = FIVMEngine(toy_count_query(), order=toy_variable_order()).tree
+        plan = build_probe_plan(tree)
+        assert plan.index_specs == {"V_R": (("A",),), "V_S": (("A",),)}
+        (steps,) = plan.path_steps["R"]
+        assert [(s.sibling, s.attrs) for s in steps] == [("V_S", ("A",))]
+
+    def test_retailer_plan_covers_every_inner_view_on_each_path(self):
+        engine = FIVMEngine(
+            retailer_query(CountSpec()), order=retailer_variable_order()
+        )
+        plan = engine.probe_plan
+        for name in engine.query.relation_names:
+            path = engine.tree.path_to_root(name)
+            assert len(plan.path_steps[name]) == len(path) - 1
+        # Every probed attribute tuple is an index spec on that sibling.
+        for per_view in plan.path_steps.values():
+            for steps in per_view:
+                for step in steps:
+                    assert step.attrs in plan.index_specs[step.sibling]
+
+    def test_probed_views_are_indexed_after_initialize(self):
+        engine, _plain, _oracle = toy_engines()
+        for name, specs in engine.probe_plan.index_specs.items():
+            view = engine.materialized[name]
+            assert isinstance(view, IndexedRelation)
+            assert set(view.indexes) == set(specs)
+        # The root is probed by nobody and stays a plain relation.
+        assert not isinstance(
+            engine.materialized[engine.tree.root.name], IndexedRelation
+        )
+
+
+class TestIndexedMaintenance:
+    def test_indexed_and_scan_paths_agree_with_oracle(self):
+        indexed_e, plain_e, oracle = toy_engines()
+        steps = [
+            ("R", inserts(R_SCHEMA, [("a1", 5), ("a9", 9)])),
+            ("S", inserts(S_SCHEMA, [("a9", 1, 2), ("a1", 3, 3)])),
+            ("R", deletes(R_SCHEMA, [("a1", 1)])),
+            ("S", delta_of(S_SCHEMA, deleted=[("a1", 1, 1)])),
+            ("R", deletes(R_SCHEMA, [("a9", 9)])),
+        ]
+        for name, delta in steps:
+            for engine in (indexed_e, plain_e, oracle):
+                engine.apply(name, delta)
+            assert indexed_e.result() == oracle.result()
+            assert plain_e.result() == oracle.result()
+
+    def test_index_counters_advance_only_when_enabled(self):
+        indexed_e, plain_e, _oracle = toy_engines()
+        delta = inserts(R_SCHEMA, [("a1", 1)])
+        indexed_e.apply("R", delta)
+        plain_e.apply("R", delta)
+        assert indexed_e.stats.index_probes > 0
+        assert indexed_e.stats.index_hits > 0
+        assert indexed_e.stats.index_hits <= indexed_e.stats.index_probes
+        assert plain_e.stats.index_probes == 0
+        snapshot = indexed_e.stats.snapshot()
+        assert snapshot["index_probes"] == indexed_e.stats.index_probes
+
+    def test_cancellation_stream_returns_views_and_indexes_to_start(self):
+        engine, _plain, _oracle = toy_engines()
+        before = {name: dict(v.data) for name, v in engine.materialized.items()}
+        rows = [("a1", 77), ("a8", 8), ("a9", 9)]
+        engine.apply("R", inserts(R_SCHEMA, rows))
+        engine.apply("R", deletes(R_SCHEMA, rows[:1]))
+        engine.apply("R", deletes(R_SCHEMA, rows[1:]))
+        for name, data in before.items():
+            view = engine.materialized[name]
+            assert view.data == data
+            if isinstance(view, IndexedRelation):
+                for index in view.indexes.values():
+                    assert index.entry_count() == len(view)
+
+    def test_view_sizes_track_touched_path_only(self):
+        engine, _plain, _oracle = toy_engines()
+        engine.apply("R", inserts(R_SCHEMA, [("a7", 7)]))
+        engine.apply("S", inserts(S_SCHEMA, [("a7", 1, 1), ("a1", 9, 9)]))
+        assert engine.stats.view_sizes == {
+            name: len(view) for name, view in engine.materialized.items()
+        }
+
+    def test_batched_vs_unbatched_with_indexes_on_and_off(self):
+        database, stream = retailer_setup()
+        events = list(stream.tuples(400))
+        query = retailer_query(CountSpec())
+        order = retailer_variable_order()
+        results = []
+        for flag in (True, False):
+            for batch_size in (1, 64):
+                engine = FIVMEngine(query, order=order, use_view_index=flag)
+                engine.initialize(database)
+                engine.apply_stream(iter(events), batch_size=batch_size)
+                results.append(engine.result())
+        assert all(result == results[0] for result in results[1:])
+
+    @pytest.mark.parametrize("use_view_index", (True, False))
+    def test_delta_annihilated_mid_join_at_three_child_node(self, use_view_index):
+        """A delta emptied by one sibling at a 3-child node must stop cleanly.
+
+        V@A joins V_R, V_S and V@D, and its key D comes only from V@D —
+        so when a δR finds no match in V_S, the partial join does not
+        carry D yet and marginalizing it would raise. Regression test:
+        propagation must stop without error and without corrupting views.
+        """
+        query = Query(
+            "Q3",
+            (
+                RelationSchema("R", ("A", "B")),
+                RelationSchema("S", ("A", "C")),
+                RelationSchema("T", ("A", "D")),
+            ),
+            spec=CountSpec(),
+            free=("D",),
+        )
+        order = VariableOrder(
+            [VONode("A", relations=("R", "S"), children=[VONode("D", relations=("T",))])]
+        )
+        database = Database(
+            [
+                Relation(("A", "B"), name="R"),
+                Relation(("A", "C"), name="S"),
+                Relation.from_tuples(("A", "D"), [("a1", 7)], name="T"),
+            ]
+        )
+        engine = FIVMEngine(query, order=order, use_view_index=use_view_index)
+        engine.initialize(database)
+        oracle = NaiveEngine(query, order=order)
+        oracle.initialize(database)
+        steps = [
+            ("R", inserts(("A", "B"), [("a1", 5)])),  # no match in empty S
+            ("S", inserts(("A", "C"), [("a1", 3)])),  # now the join completes
+            ("S", deletes(("A", "C"), [("a1", 3)])),  # and annihilates again
+        ]
+        for name, delta in steps:
+            engine.apply(name, delta)
+            oracle.apply(name, delta)
+            assert engine.result() == oracle.result()
+
+    def test_nonscalar_ring_maintenance_with_indexes(self):
+        query = toy_covar_categorical_query()
+        indexed_e = FIVMEngine(query, order=toy_variable_order())
+        plain_e = FIVMEngine(query, order=toy_variable_order(), use_view_index=False)
+        for engine in (indexed_e, plain_e):
+            engine.initialize(toy_database())
+        steps = [
+            ("R", inserts(R_SCHEMA, [("a1", 4), ("a5", 5)])),
+            ("S", inserts(S_SCHEMA, [("a5", 2, 2)])),
+            ("R", deletes(R_SCHEMA, [("a5", 5)])),
+        ]
+        for name, delta in steps:
+            indexed_e.apply(name, delta)
+            plain_e.apply(name, delta)
+        assert indexed_e.result().close_to(plain_e.result(), 1e-9)
+
+
+class TestCheckpointWithIndexes:
+    def snapshot_roundtrip(self, use_view_index):
+        engine = FIVMEngine(
+            toy_count_query(), order=toy_variable_order(),
+            use_view_index=use_view_index,
+        )
+        engine.initialize(toy_database())
+        engine.apply("R", inserts(R_SCHEMA, [("a1", 5)]))
+        snapshot = engine.export_state()
+        clone = FIVMEngine(
+            toy_count_query(), order=toy_variable_order(),
+            use_view_index=use_view_index,
+        )
+        clone.import_state(snapshot)
+        return engine, clone
+
+    @pytest.mark.parametrize("use_view_index", (True, False))
+    def test_roundtrip_result_and_continued_maintenance(self, use_view_index):
+        engine, clone = self.snapshot_roundtrip(use_view_index)
+        assert clone.result() == engine.result()
+        delta = delta_of(S_SCHEMA, inserted=[("a1", 8, 8)], deleted=[("a1", 1, 1)])
+        engine.apply("S", delta)
+        clone.apply("S", delta)
+        assert clone.result() == engine.result()
+
+    def test_indexes_rebuilt_after_import(self):
+        engine, clone = self.snapshot_roundtrip(True)
+        for name, specs in clone.probe_plan.index_specs.items():
+            view = clone.materialized[name]
+            assert isinstance(view, IndexedRelation)
+            for attrs in specs:
+                index = view.index_on(attrs)
+                assert index.entry_count() == len(view)
+
+    def test_import_drops_ring_zero_payloads(self):
+        engine, _clone = self.snapshot_roundtrip(True)
+        snapshot = engine.export_state()
+        snapshot["views"]["V_R"][("parked",)] = 0  # a parked cancellation
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        clone.import_state(snapshot)
+        assert ("parked",) not in clone.view("V_R").data
+        assert clone.stats.view_sizes["V_R"] == len(clone.view("V_R"))
+        # The rebuilt index must not carry the zombie either.
+        assert clone.view("V_R").index_on(("A",)).get("parked") is None
+
+    def test_import_restores_stats_counters(self):
+        engine, clone = self.snapshot_roundtrip(True)
+        assert clone.stats.updates_applied == engine.stats.updates_applied
+        assert clone.stats.index_probes == engine.stats.index_probes
+        assert clone.stats.view_sizes == {
+            name: len(view) for name, view in clone.materialized.items()
+        }
+
+    def test_import_without_stats_resets_counters(self):
+        engine, _clone = self.snapshot_roundtrip(True)
+        snapshot = engine.export_state()
+        del snapshot["stats"]
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        clone.import_state(snapshot)
+        assert clone.stats.updates_applied == 0
+        assert clone.stats.index_probes == 0
+
+    def test_cross_mode_snapshot_compatible(self):
+        """A snapshot from a no-index engine restores into an indexed one."""
+        plain = FIVMEngine(
+            toy_count_query(), order=toy_variable_order(), use_view_index=False
+        )
+        plain.initialize(toy_database())
+        plain.apply("R", inserts(R_SCHEMA, [("a2", 9)]))
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        clone.import_state(plain.export_state())
+        assert clone.result() == plain.result()
+        delta = inserts(S_SCHEMA, [("a2", 1, 1)])
+        plain.apply("S", delta)
+        clone.apply("S", delta)
+        assert clone.result() == plain.result()
