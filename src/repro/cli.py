@@ -47,7 +47,7 @@ from repro.datasets import (
     retailer_row_factories,
     retailer_variable_order,
 )
-from repro.engine import FIVMEngine, FirstOrderEngine, NaiveEngine
+from repro.engine import FIVMEngine, FirstOrderEngine, NaiveEngine, ShardedEngine
 from repro.ml.discretize import binning_for_attribute
 from repro.rings import CountSpec, CovarSpec, Feature, MISpec
 
@@ -213,29 +213,67 @@ def cmd_bench(args) -> int:
     print(
         f"# engine comparison on {args.dataset} "
         f"(count ring, ingest={args.ingest}, batch size {args.batch_size}, "
-        f"view-index={'on' if view_index else 'off'})"
+        f"view-index={'on' if view_index else 'off'}"
+        + (f", shards={args.shards}" if args.shards > 1 else "")
+        + ")"
     )
     print(f"{'engine':>14} {'init (s)':>9} {'maintain (s)':>13} {'updates/s':>11}")
+    contenders = [
+        (
+            FIVMEngine.strategy,
+            lambda: FIVMEngine(
+                query_of(CountSpec()), order=order, use_view_index=view_index
+            ),
+        ),
+        (
+            FirstOrderEngine.strategy,
+            lambda: FirstOrderEngine(query_of(CountSpec()), order=order),
+        ),
+        (
+            NaiveEngine.strategy,
+            lambda: NaiveEngine(query_of(CountSpec()), order=order),
+        ),
+    ]
+    if args.shards > 1:
+        contenders.insert(
+            0,
+            (
+                f"fivm x{args.shards}",
+                lambda: ShardedEngine(
+                    query_of(CountSpec()),
+                    order=order,
+                    shards=args.shards,
+                    backend=args.shard_backend,
+                    use_view_index=view_index,
+                ),
+            ),
+        )
     results = []
-    for engine_cls in (FIVMEngine, FirstOrderEngine, NaiveEngine):
-        kwargs = {}
-        if engine_cls is FIVMEngine:
-            kwargs["use_view_index"] = view_index
-        engine = engine_cls(query_of(CountSpec()), order=order, **kwargs)
-        started = time.perf_counter()
-        engine.initialize(db)
-        init_s = time.perf_counter() - started
-        started = time.perf_counter()
-        if args.ingest == "stream":
-            # Decompose to single-tuple events; the engine's UpdateBatcher
-            # coalesces them back into --batch-size batches.
-            engine.apply_stream(tuple_events(batches), batch_size=args.batch_size)
-        else:
-            engine.apply_batch(updates)
-        seconds = time.perf_counter() - started
-        results.append(engine.result())
+    for label, factory in contenders:
+        engine = factory()
+        try:
+            started = time.perf_counter()
+            engine.initialize(db)
+            init_s = time.perf_counter() - started
+            started = time.perf_counter()
+            if args.ingest == "stream":
+                # Decompose to single-tuple events; the engine's
+                # UpdateBatcher coalesces them back into --batch-size
+                # batches.
+                engine.apply_stream(tuple_events(batches), batch_size=args.batch_size)
+            else:
+                engine.apply_batch(updates)
+            # result() before stopping the clock: on the sharded process
+            # backend applies are fire-and-forget, so this is the barrier
+            # that waits for in-flight worker maintenance (trivial for
+            # the in-process engines).
+            results.append(engine.result())
+            seconds = time.perf_counter() - started
+        finally:
+            if isinstance(engine, ShardedEngine):
+                engine.close()
         print(
-            f"{engine.strategy:>14} {init_s:>9.3f} {seconds:>13.3f} "
+            f"{label:>14} {init_s:>9.3f} {seconds:>13.3f} "
             f"{n_updates / seconds:>11.0f}"
         )
     assert all(results[0] == other for other in results[1:]), "engines disagree"
@@ -297,6 +335,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-view-index",
         action="store_true",
         help="ablation: disable F-IVM's persistent view indexes (scan siblings)",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "also benchmark a ShardedEngine with this many hash-partitioned "
+            "F-IVM workers (1: unsharded engines only)"
+        ),
+    )
+    bench.add_argument(
+        "--shard-backend",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help="shard execution backend (auto: fork processes when available)",
     )
     bench.set_defaults(func=cmd_bench)
     return parser

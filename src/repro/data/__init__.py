@@ -13,6 +13,7 @@ from repro.data.delta import (
 from repro.data.index import IndexedRelation, RelationIndex
 from repro.data.relation import Relation
 from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.data.sharding import ShardRouter, shard_hash
 
 __all__ = [
     "Database",
@@ -23,6 +24,8 @@ __all__ = [
     "RelationSchema",
     "UpdateBatcher",
     "batch_events",
+    "ShardRouter",
+    "shard_hash",
     "inserts",
     "deletes",
     "delta_of",

@@ -1,0 +1,198 @@
+"""Hash-partitioning relations and delta streams across engine shards.
+
+Multi-core ingestion runs one maintenance engine per *shard*, each owning
+a horizontal slice of the database. The slicing must make the query
+result additive across shards: since a natural join is multilinear in its
+relations, ``sum_s Q(shard_s) == Q(full)`` holds exactly when every pair
+of *partitioned* relations placed in different shards joins to nothing.
+:class:`ShardRouter` guarantees that by hashing on a set of *shard
+attributes* shared by all partitioned relations — the natural join
+equates those attributes, so tuples landing in different shards can never
+join. Relations missing a shard attribute are *broadcast* (replicated to
+every shard), which multilinearity likewise keeps exact as long as at
+least one relation is partitioned.
+
+The shard attributes themselves come from the view tree's static
+structure (:func:`repro.viewtree.build_shard_plan`); this module is the
+data-plane half: stable hashing, delta splitting, and database
+partitioning.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import DataError
+
+__all__ = ["ShardRouter", "shard_hash"]
+
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+_MASK32 = 0xFFFFFFFF
+
+
+def shard_hash(values: Tuple) -> int:
+    """Deterministic 32-bit hash of a tuple of key values.
+
+    Python's builtin ``hash`` is salted per process for strings, so it
+    cannot route consistently between a coordinator and forked workers or
+    across runs. This FNV-1a fold is stable everywhere: ints hash by
+    value, floats by their IEEE bytes, anything else by the CRC of its
+    ``str`` form.
+    """
+    h = _FNV_OFFSET
+    for value in values:
+        if isinstance(value, int):
+            word = value & _MASK32
+        elif isinstance(value, float):
+            # Keys equal under == must route identically: dict keys treat
+            # 1 and 1.0 as the same entry, so integral floats take the
+            # int path (a delete carrying 1.0 must follow an insert of 1).
+            if value.is_integer():
+                word = int(value) & _MASK32
+            else:
+                word = zlib.crc32(struct.pack("<d", value))
+        else:
+            word = zlib.crc32(str(value).encode("utf-8"))
+        h = ((h ^ word) * _FNV_PRIME) & _MASK32
+    return h
+
+
+class ShardRouter:
+    """Route per-relation deltas (and the initial database) to shards.
+
+    Parameters
+    ----------
+    schemas:
+        ``relation name -> attribute tuple`` for every relation of the
+        query.
+    attrs:
+        The shard attributes. A relation whose schema contains *all* of
+        them is **routed** (hash-partitioned on their values); any other
+        relation is **broadcast** to every shard.
+    shards:
+        Number of shards (>= 1).
+
+    Notes
+    -----
+    Routing is a pure function of the row content, so a delete is always
+    routed to the shard that received the matching insert, and replaying
+    a stream yields the same placement run after run.
+    """
+
+    def __init__(
+        self,
+        schemas: Mapping[str, Sequence[str]],
+        attrs: Sequence[str],
+        shards: int,
+    ):
+        if shards < 1:
+            raise DataError("shards must be at least 1")
+        self.attrs = tuple(attrs)
+        if not self.attrs:
+            raise DataError("shard attributes must be non-empty")
+        if len(set(self.attrs)) != len(self.attrs):
+            raise DataError(f"duplicate shard attribute in {self.attrs!r}")
+        self.shards = int(shards)
+        self.schemas: Dict[str, Tuple[str, ...]] = {
+            name: tuple(schema) for name, schema in schemas.items()
+        }
+        #: relation -> positions of the shard attrs, or None for broadcast.
+        self._positions: Dict[str, Optional[Tuple[int, ...]]] = {}
+        for name, schema in self.schemas.items():
+            if all(attr in schema for attr in self.attrs):
+                self._positions[name] = tuple(
+                    schema.index(attr) for attr in self.attrs
+                )
+            else:
+                self._positions[name] = None
+        self.routed: Tuple[str, ...] = tuple(
+            name for name, pos in self._positions.items() if pos is not None
+        )
+        self.broadcast: Tuple[str, ...] = tuple(
+            name for name, pos in self._positions.items() if pos is None
+        )
+        if not self.routed:
+            raise DataError(
+                f"shard attributes {self.attrs!r} partition no relation; "
+                "every shard would replicate the whole database"
+            )
+
+    # ------------------------------------------------------------------
+
+    def is_routed(self, relation: str) -> bool:
+        return self._positions_of(relation) is not None
+
+    def shard_of(self, relation: str, row: Tuple) -> Optional[int]:
+        """Shard index of one row, or ``None`` for a broadcast relation."""
+        positions = self._positions_of(relation)
+        if positions is None:
+            return None
+        return shard_hash(tuple(row[i] for i in positions)) % self.shards
+
+    def split(
+        self, relation: str, delta: Relation
+    ) -> List[Tuple[int, Relation]]:
+        """Split a delta into ``(shard, sub-delta)`` pairs.
+
+        Routed relations hash-partition entry by entry (empty shards are
+        omitted); broadcast relations return the *same* delta object for
+        every shard — engines treat deltas as read-only, and the process
+        backend serializes per shard anyway.
+        """
+        positions = self._positions_of(relation)
+        if positions is None:
+            return [(shard, delta) for shard in range(self.shards)]
+        if self.shards == 1:
+            return [(0, delta)] if delta.data else []
+        parts: Dict[int, Relation] = {}
+        for key, multiplicity in delta.data.items():
+            shard = shard_hash(tuple(key[i] for i in positions)) % self.shards
+            sub = parts.get(shard)
+            if sub is None:
+                sub = parts[shard] = delta.empty_like()
+            sub.data[key] = multiplicity
+        return sorted(parts.items())
+
+    def partition_database(self, database: Database) -> List[Database]:
+        """Per-shard databases: routed relations sliced, broadcast copied.
+
+        The slices of a routed relation are disjoint and their union is
+        the original; broadcast relations are independent copies so a
+        worker mutating its replica cannot alias another shard's.
+        """
+        shards: List[List[Relation]] = [[] for _ in range(self.shards)]
+        for name in self.schemas:
+            relation = database.relation(name)
+            positions = self._positions_of(name)
+            if positions is None:
+                for shard in range(self.shards):
+                    shards[shard].append(relation.copy())
+                continue
+            slices = [relation.empty_like() for _ in range(self.shards)]
+            for key, payload in relation.data.items():
+                shard = shard_hash(tuple(key[i] for i in positions)) % self.shards
+                slices[shard].data[key] = payload
+            for shard in range(self.shards):
+                shards[shard].append(slices[shard])
+        return [Database(relations) for relations in shards]
+
+    # ------------------------------------------------------------------
+
+    def _positions_of(self, relation: str) -> Optional[Tuple[int, ...]]:
+        try:
+            return self._positions[relation]
+        except KeyError:
+            raise DataError(
+                f"unknown relation {relation!r}; router knows {tuple(self.schemas)}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardRouter on {self.attrs!r} x{self.shards} "
+            f"routed={self.routed!r} broadcast={self.broadcast!r}>"
+        )

@@ -6,6 +6,7 @@ from repro.engine.firstorder import FirstOrderEngine
 from repro.engine.fivm import FIVMEngine
 from repro.engine.naive import NaiveEngine
 from repro.engine.peragg import PerAggregateEngine
+from repro.engine.sharded import ShardedEngine, available_backends
 
 __all__ = [
     "MaintenanceEngine",
@@ -14,6 +15,8 @@ __all__ = [
     "FirstOrderEngine",
     "NaiveEngine",
     "PerAggregateEngine",
+    "ShardedEngine",
+    "available_backends",
     "evaluate_tree",
     "evaluate_view",
 ]

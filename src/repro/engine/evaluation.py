@@ -4,12 +4,18 @@ Shared by: F-IVM's initialization, the naive re-evaluation baseline, and
 the first-order baseline's delta queries (which evaluate the same tree
 with one base relation replaced by a delta — correct because the join is
 linear in each of its relations).
+
+With ``index_specs`` (the probe plan's view-to-attribute-tuples map),
+views that maintenance paths later probe are wrapped and indexed *as they
+are materialized* — the data is still hot, and the engine needs no
+separate index-install pass afterwards.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
+from repro.data.index import IndexedRelation
 from repro.data.relation import Relation
 from repro.errors import EngineError
 from repro.viewtree.builder import ViewTree
@@ -17,17 +23,23 @@ from repro.viewtree.node import View
 
 __all__ = ["evaluate_view", "evaluate_tree"]
 
+IndexSpecs = Mapping[str, Tuple[Tuple[str, ...], ...]]
+
 
 def evaluate_view(
     tree: ViewTree,
     view: View,
     relations: Mapping[str, Relation],
     materialized: Optional[Dict[str, Relation]] = None,
+    index_specs: Optional[IndexSpecs] = None,
 ) -> Relation:
     """Evaluate ``view`` recursively over the given base ``relations``.
 
     When ``materialized`` is provided, every evaluated view is recorded in
     it (used by F-IVM's initialization to materialize the whole tree).
+    When ``index_specs`` names this view, the result is returned as an
+    :class:`~repro.data.index.IndexedRelation` carrying the listed
+    indexes, built immediately after materialization.
     """
     plan = tree.plan
     if view.is_leaf:
@@ -39,7 +51,7 @@ def evaluate_view(
         result = base.lift(plan.ring, view.key, lifts)
     else:
         children = [
-            evaluate_view(tree, child, relations, materialized)
+            evaluate_view(tree, child, relations, materialized, index_specs)
             for child in view.children
         ]
         # Join smallest-first keeps intermediates small on skewed data.
@@ -50,6 +62,13 @@ def evaluate_view(
         lifts = {attr: plan.lifts[attr] for attr in view.lifted}
         result = joined.marginalize(view.key, lifts)
     result.name = view.name
+    if index_specs is not None:
+        specs = index_specs.get(view.name)
+        if specs:
+            indexed = IndexedRelation.from_relation(result)
+            for attrs in specs:
+                indexed.add_index(attrs)
+            result = indexed
     if materialized is not None:
         materialized[view.name] = result
     return result
@@ -59,6 +78,7 @@ def evaluate_tree(
     tree: ViewTree,
     relations: Mapping[str, Relation],
     materialized: Optional[Dict[str, Relation]] = None,
+    index_specs: Optional[IndexSpecs] = None,
 ) -> Relation:
     """Evaluate the whole tree; returns the root view's relation."""
-    return evaluate_view(tree, tree.root, relations, materialized)
+    return evaluate_view(tree, tree.root, relations, materialized, index_specs)

@@ -52,12 +52,18 @@ class FIVMEngine(MaintenanceEngine):
         query: Query,
         order: Optional[VariableOrder] = None,
         use_view_index: bool = True,
+        adaptive_probe: bool = True,
     ):
         super().__init__(query)
         self.plan = query.build_plan()
         self.tree: ViewTree = build_view_tree(query, order=order, plan=self.plan)
         self.materialized: Dict[str, Relation] = {}
         self.use_view_index = bool(use_view_index)
+        #: Pick probe vs. scan per sibling join from |delta| against the
+        #: sibling's size (constants on EngineStatistics); with
+        #: ``adaptive_probe=False`` every step probes, the pre-adaptive
+        #: behaviour. Only meaningful when ``use_view_index`` is on.
+        self.adaptive_probe = bool(adaptive_probe)
         self.probe_plan = build_probe_plan(self.tree)
         # Maintenance paths and per-view lifting dicts are pure functions
         # of the static tree; precompute them so apply() does no per-update
@@ -80,9 +86,15 @@ class FIVMEngine(MaintenanceEngine):
             name: database.relation(name) for name in self.query.relation_names
         }
         self.materialized = {}
-        evaluate_tree(self.tree, relations, self.materialized)
-        if self.use_view_index:
-            self._install_indexes()
+        # Index-aware evaluation: probed views come out of evaluate_tree
+        # already wrapped and indexed, so there is no second install pass
+        # over the freshly materialized data.
+        evaluate_tree(
+            self.tree,
+            relations,
+            self.materialized,
+            index_specs=self.probe_plan.index_specs if self.use_view_index else None,
+        )
         self._initialized = True
         self._refresh_view_sizes()
 
@@ -105,20 +117,34 @@ class FIVMEngine(MaintenanceEngine):
             if self.use_view_index
             else None
         )
+        adaptive = self.adaptive_probe
+        scan_ratio = stats.ADAPTIVE_SCAN_RATIO
+        scan_min_delta = stats.ADAPTIVE_SCAN_MIN_DELTA
         previous_name = leaf.name
         for position, (view, lifts) in enumerate(inner):
             if not current.data:
                 break
             joined = current
             if probe_steps is not None:
-                # O(|delta| x matches): probe each sibling's persistent index.
                 for step in probe_steps[position]:
                     sibling = materialized[step.sibling]
-                    index = sibling.index_on(step.attrs)
-                    probes, hits = index.probes, index.hits
-                    joined = joined.join_probe(sibling, index)
-                    stats.index_probes += index.probes - probes
-                    stats.index_hits += index.hits - hits
+                    if (
+                        adaptive
+                        and len(joined.data) >= scan_min_delta
+                        and len(joined.data) > scan_ratio * len(sibling.data)
+                    ):
+                        # The delta dwarfs the sibling: one hash join over
+                        # the small sibling beats per-entry index probes.
+                        joined = joined.join(sibling)
+                        stats.scan_steps += 1
+                    else:
+                        # O(|delta| x matches): probe the persistent index.
+                        index = sibling.index_on(step.attrs)
+                        probes, hits = index.probes, index.hits
+                        joined = joined.join_probe(sibling, index)
+                        stats.index_probes += index.probes - probes
+                        stats.index_hits += index.hits - hits
+                        stats.probe_steps += 1
                     if not joined.data:
                         break
             else:

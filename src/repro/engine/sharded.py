@@ -1,0 +1,451 @@
+"""Sharded multi-core ingestion: one F-IVM engine per worker process.
+
+The paper's C++ system sustains high update rates with compiled triggers;
+a pure-Python reproduction is bounded by the interpreter on one core.
+:class:`ShardedEngine` recovers throughput by horizontal partitioning:
+the coordinator hash-routes every delta on the shard attributes a
+:class:`~repro.viewtree.builder.ShardPlan` derives from the view tree,
+each shard runs a full :class:`~repro.engine.fivm.FIVMEngine` over its
+slice of the database, and the query result is the ring-sum of the
+per-shard root views (multilinearity of the join makes that exact — see
+:mod:`repro.data.sharding`).
+
+Two backends share one protocol:
+
+- ``"serial"`` keeps the shard engines in-process. No parallelism, but
+  identical routing/merging semantics — this is what the determinism
+  tests sweep and the fallback on platforms without ``fork``.
+- ``"process"`` forks one worker per shard. Deltas travel to workers over
+  pipes as plain ``key -> multiplicity`` dicts (fire-and-forget, so the
+  coordinator routes batch *n+1* while workers maintain batch *n*);
+  ``result()``/``shard_stats()``/``memory_report()`` are synchronous
+  fan-out/fan-in points. Fork start is required because payload plans
+  hold lifting closures that cannot cross a spawn boundary — workers
+  inherit the query object instead of unpickling it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.sharding import ShardRouter
+from repro.engine.base import EngineStatistics, MaintenanceEngine
+from repro.engine.fivm import FIVMEngine
+from repro.errors import EngineError
+from repro.query.query import Query
+from repro.query.variable_order import VariableOrder
+from repro.viewtree.builder import ShardPlan, build_shard_plan, build_view_tree
+
+__all__ = ["ShardedEngine", "available_backends", "resolve_backend"]
+
+BACKENDS = ("serial", "process")
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable on this platform (``process`` needs ``fork``)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return BACKENDS
+    return ("serial",)
+
+
+def resolve_backend(backend: str, shards: int) -> str:
+    """Resolve ``"auto"`` and validate an explicit choice."""
+    if backend == "auto":
+        if shards > 1 and "process" in available_backends():
+            return "process"
+        return "serial"
+    if backend not in BACKENDS:
+        raise EngineError(
+            f"unknown shard backend {backend!r}; expected one of "
+            f"{('auto',) + BACKENDS}"
+        )
+    if backend == "process" and "process" not in available_backends():
+        raise EngineError(
+            "the process backend needs the fork start method "
+            "(unavailable on this platform); use backend='serial'"
+        )
+    return backend
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+
+class _SerialBackend:
+    """All shard engines live in the coordinator process."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        factory: Callable[[], MaintenanceEngine],
+        databases: List[Database],
+    ):
+        self.engines = [factory() for _ in databases]
+        for engine, database in zip(self.engines, databases):
+            engine.initialize(database)
+
+    def apply(self, shard: int, relation_name: str, delta: Relation) -> None:
+        self.engines[shard].apply(relation_name, delta)
+
+    def results(self) -> List[Dict]:
+        return [engine.result().data for engine in self.engines]
+
+    def stats(self) -> List[Dict[str, int]]:
+        return [engine.stats.snapshot() for engine in self.engines]
+
+    def memory(self) -> List[Dict[str, Dict[str, int]]]:
+        return [engine.memory_report() for engine in self.engines]
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, factory, database) -> None:
+    """Worker loop: build the engine, then serve the coordinator's pipe.
+
+    Every reply is ``("ok", payload)`` or ``("error", message)``; applies
+    are fire-and-forget, so an apply failure is parked and surfaced at
+    the next synchronous exchange.
+    """
+    try:
+        engine = factory()
+        engine.initialize(database)
+        schemas = {
+            name: engine.query.schema_of(name).attributes
+            for name in engine.query.relation_names
+        }
+    except Exception as exc:  # pragma: no cover - init failures are rare
+        conn.send(("error", f"shard initialization failed: {exc!r}"))
+        conn.close()
+        return
+    conn.send(("ok", "ready"))
+    failure: Optional[str] = None
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        op = message[0]
+        if op == "stop":
+            break
+        try:
+            if failure is not None:
+                if op != "apply":
+                    conn.send(("error", failure))
+            elif op == "apply":
+                relation_name, data = message[1], message[2]
+                delta = Relation(schemas[relation_name], name=relation_name)
+                delta.data = data
+                engine.apply(relation_name, delta)
+            elif op == "result":
+                conn.send(("ok", engine.result().data))
+            elif op == "stats":
+                conn.send(("ok", engine.stats.snapshot()))
+            elif op == "memory":
+                conn.send(("ok", engine.memory_report()))
+            else:
+                conn.send(("error", f"unknown op {op!r}"))
+        except Exception as exc:
+            failure = f"shard worker failed on {op!r}: {exc!r}"
+            if op != "apply":
+                conn.send(("error", failure))
+    conn.close()
+
+
+class _ProcessBackend:
+    """One forked worker process per shard, one duplex pipe each."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        factory: Callable[[], MaintenanceEngine],
+        databases: List[Database],
+    ):
+        context = multiprocessing.get_context("fork")
+        self.connections = []
+        self.processes = []
+        try:
+            for database in databases:
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(child_conn, factory, database),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self.connections.append(parent_conn)
+                self.processes.append(process)
+            for shard, conn in enumerate(self.connections):
+                self._receive(shard, conn)
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+
+    def apply(self, shard: int, relation_name: str, delta: Relation) -> None:
+        try:
+            self.connections[shard].send(("apply", relation_name, delta.data))
+        except (BrokenPipeError, OSError) as exc:
+            raise EngineError(f"shard {shard} worker is gone: {exc!r}") from None
+
+    def results(self) -> List[Dict]:
+        return self._gather("result")
+
+    def stats(self) -> List[Dict[str, int]]:
+        return self._gather("stats")
+
+    def memory(self) -> List[Dict[str, Dict[str, int]]]:
+        return self._gather("memory")
+
+    def close(self) -> None:
+        for conn in self.connections:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self.processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+        for conn in self.connections:
+            conn.close()
+        self.connections = []
+        self.processes = []
+
+    # ------------------------------------------------------------------
+
+    def _gather(self, op: str) -> List[Any]:
+        # Fan out first so shards compute concurrently, then fan in.
+        for shard, conn in enumerate(self.connections):
+            try:
+                conn.send((op,))
+            except (BrokenPipeError, OSError) as exc:
+                raise EngineError(
+                    f"shard {shard} worker is gone: {exc!r}"
+                ) from None
+        return [
+            self._receive(shard, conn)
+            for shard, conn in enumerate(self.connections)
+        ]
+
+    def _receive(self, shard: int, conn) -> Any:
+        try:
+            status, payload = conn.recv()
+        except EOFError:
+            raise EngineError(
+                f"shard {shard} worker died without replying"
+            ) from None
+        if status != "ok":
+            raise EngineError(f"shard {shard}: {payload}")
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+
+class ShardedEngine(MaintenanceEngine):
+    """Coordinator over ``shards`` F-IVM engines, each owning a slice.
+
+    Parameters
+    ----------
+    query, order:
+        As for :class:`~repro.engine.fivm.FIVMEngine`; every shard builds
+        the same tree over its partition.
+    shards:
+        Number of partitions (>= 1).
+    shard_attrs:
+        Explicit hash attributes; default: derived from the view tree by
+        :func:`~repro.viewtree.builder.build_shard_plan`.
+    backend:
+        ``"auto"`` (process when ``fork`` exists and ``shards > 1``),
+        ``"serial"`` or ``"process"``.
+    use_view_index, adaptive_probe:
+        Forwarded to every shard's :class:`FIVMEngine`.
+
+    The coordinator's own ``stats`` count what was routed (batches,
+    updates, tuples); per-shard maintenance counters are aggregated on
+    demand by :meth:`shard_stats` / :meth:`aggregate_stats`. Use as a
+    context manager (or call :meth:`close`) to stop worker processes.
+    """
+
+    strategy = "fivm-sharded"
+
+    def __init__(
+        self,
+        query: Query,
+        order: Optional[VariableOrder] = None,
+        shards: int = 2,
+        shard_attrs: Optional[Tuple[str, ...]] = None,
+        backend: str = "auto",
+        use_view_index: bool = True,
+        adaptive_probe: bool = True,
+    ):
+        super().__init__(query)
+        if shards < 1:
+            raise EngineError("shards must be at least 1")
+        self.shards = int(shards)
+        self.order = order
+        self.use_view_index = bool(use_view_index)
+        self.adaptive_probe = bool(adaptive_probe)
+        self.tree = build_view_tree(query, order=order)
+        self.shard_plan: ShardPlan = build_shard_plan(self.tree, attrs=shard_attrs)
+        schemas = {
+            name: query.schema_of(name).attributes
+            for name in query.relation_names
+        }
+        self.router = ShardRouter(schemas, self.shard_plan.attrs, self.shards)
+        if set(self.router.routed) != set(self.shard_plan.routed):
+            # Both derive "contains all shard attrs" independently; if the
+            # criteria ever diverge, fail loudly rather than route deltas
+            # differently from what the plan (and describe()) reports.
+            raise EngineError(
+                f"shard plan routed {self.shard_plan.routed!r} but the "
+                f"router derived {self.router.routed!r}"
+            )
+        self.backend_name = resolve_backend(backend, self.shards)
+        self._backend = None
+
+    # ------------------------------------------------------------------
+
+    def initialize(self, database: Database) -> None:
+        self.close()
+        partitions = self.router.partition_database(database)
+        query, order = self.query, self.order
+        use_view_index, adaptive_probe = self.use_view_index, self.adaptive_probe
+
+        def factory() -> FIVMEngine:
+            return FIVMEngine(
+                query,
+                order=order,
+                use_view_index=use_view_index,
+                adaptive_probe=adaptive_probe,
+            )
+
+        if self.backend_name == "process":
+            self._backend = _ProcessBackend(factory, partitions)
+        else:
+            self._backend = _SerialBackend(factory, partitions)
+        self.stats = EngineStatistics()
+        self._initialized = True
+        self._refresh_view_sizes()
+
+    def apply(self, relation_name: str, delta: Relation) -> None:
+        self._require_initialized()
+        self._check_delta(relation_name, delta)
+        if not delta.data:
+            return
+        self.stats.record_batch(delta)
+        for shard, sub_delta in self.router.split(relation_name, delta):
+            self._backend.apply(shard, relation_name, sub_delta)
+
+    def result(self) -> Relation:
+        """Ring-additive merge of the per-shard root views.
+
+        Shard keys never collide for views keyed below the shard
+        attributes, and where they do collide (e.g. the empty root key of
+        a full aggregate) the ring's addition combines them — the same
+        operation maintenance itself uses, so the merged result is
+        exactly the unsharded engine's.
+        """
+        self._require_initialized()
+        root = self.tree.root
+        ring = self.tree.plan.ring
+        merged = Relation(root.key, ring, name=root.name)
+        shard_data = self._backend.results()
+        for data in shard_data:
+            part = Relation(root.key, ring)
+            part.data = dict(data)
+            merged.add_inplace(part)
+        return merged
+
+    # ------------------------------------------------------------------
+
+    def shard_stats(self) -> List[Dict[str, int]]:
+        """Per-shard maintenance counter snapshots, in shard order."""
+        self._require_initialized()
+        return self._backend.stats()
+
+    def aggregate_stats(self) -> Dict[str, int]:
+        """Summed per-shard counters (``view:*`` entries sum entry counts).
+
+        Also refreshes the coordinator's ``stats.view_sizes`` so memory
+        accounting reflects the shards' current materializations.
+        """
+        totals: Dict[str, int] = {}
+        for snapshot in self.shard_stats():
+            for key, value in snapshot.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        self.stats.view_sizes = {
+            key[len("view:"):]: value
+            for key, value in totals.items()
+            if key.startswith("view:")
+        }
+        return totals
+
+    def memory_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-view totals across shards (entries, payload weight, indexes)."""
+        self._require_initialized()
+        merged: Dict[str, Dict[str, int]] = {}
+        for report in self._backend.memory():
+            for view_name, entry in report.items():
+                target = merged.setdefault(view_name, {})
+                for field, value in entry.items():
+                    target[field] = target.get(field, 0) + int(value)
+        return merged
+
+    def total_view_tuples(self) -> int:
+        return sum(
+            entry.get("entries", 0) for entry in self.memory_report().values()
+        )
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop shard workers (idempotent); the engine needs
+        :meth:`initialize` again afterwards."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+        self._initialized = False
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown order
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def _refresh_view_sizes(self) -> None:
+        try:
+            self.aggregate_stats()
+        except EngineError:  # pragma: no cover - defensive
+            pass
+
+    def describe(self) -> str:
+        """One-line summary for benchmark tables and logs."""
+        cores = os.cpu_count() or 1
+        return (
+            f"{self.strategy} x{self.shards} ({self.backend_name}, "
+            f"hash on {'/'.join(self.shard_plan.attrs)}, "
+            f"routed={len(self.shard_plan.routed)}, "
+            f"broadcast={len(self.shard_plan.broadcast)}, {cores} cores)"
+        )

@@ -3,8 +3,10 @@
 from repro.viewtree.builder import (
     ProbePlan,
     ProbeStep,
+    ShardPlan,
     ViewTree,
     build_probe_plan,
+    build_shard_plan,
     build_view_tree,
 )
 from repro.viewtree.dot import render_tree_dot
@@ -18,6 +20,8 @@ __all__ = [
     "ProbePlan",
     "ProbeStep",
     "build_probe_plan",
+    "ShardPlan",
+    "build_shard_plan",
     "render_tree_m3",
     "render_view_m3",
     "render_tree_dot",

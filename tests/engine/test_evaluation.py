@@ -66,3 +66,56 @@ class TestEvaluateView:
         result = evaluate_view(tree, leaf, relations_of(toy_database()))
         assert result.schema == ("A",)
         assert result.payload(("a2",)) == 1
+
+
+class TestIndexAwareEvaluation:
+    """evaluate_tree builds probe-plan indexes while materializing."""
+
+    def test_index_specs_wrap_probed_views(self, tree):
+        from repro.data import IndexedRelation
+        from repro.viewtree import build_probe_plan
+
+        probe_plan = build_probe_plan(tree)
+        materialized = {}
+        evaluate_tree(
+            tree,
+            relations_of(toy_database()),
+            materialized,
+            index_specs=probe_plan.index_specs,
+        )
+        for name, specs in probe_plan.index_specs.items():
+            view = materialized[name]
+            assert isinstance(view, IndexedRelation)
+            assert set(view.indexes) == set(specs)
+            for attrs in specs:
+                index = view.index_on(attrs)
+                assert index.entry_count() == len(view)
+        # Views outside the probe plan stay plain relations.
+        for name, view in materialized.items():
+            if name not in probe_plan.index_specs:
+                assert not isinstance(view, IndexedRelation)
+
+    def test_indexed_evaluation_matches_plain(self, tree):
+        from repro.viewtree import build_probe_plan
+
+        plain, indexed = {}, {}
+        evaluate_tree(tree, relations_of(toy_database()), plain)
+        evaluate_tree(
+            tree,
+            relations_of(toy_database()),
+            indexed,
+            index_specs=build_probe_plan(tree).index_specs,
+        )
+        assert set(plain) == set(indexed)
+        for name in plain:
+            assert plain[name] == indexed[name]
+
+    def test_engine_initialize_needs_no_second_pass(self):
+        """FIVMEngine's views come out of evaluate_tree already indexed."""
+        from repro.data import IndexedRelation
+        from repro.engine import FIVMEngine
+
+        engine = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        engine.initialize(toy_database())
+        for name in engine.probe_plan.index_specs:
+            assert isinstance(engine.materialized[name], IndexedRelation)

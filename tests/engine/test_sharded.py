@@ -1,0 +1,220 @@
+"""ShardedEngine: cross-shard determinism, backends, stats, adaptivity."""
+
+import pytest
+
+from repro.data import Relation
+from repro.datasets import (
+    RetailerConfig,
+    UpdateStream,
+    generate_retailer,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+    toy_count_query,
+    toy_covar_continuous_query,
+    toy_database,
+    toy_variable_order,
+)
+from repro.engine import FIVMEngine, ShardedEngine, available_backends
+from repro.errors import EngineError
+from repro.rings import CountSpec
+
+
+def retailer_setup(insert_ratio=0.7, seed=5, total_updates=1200):
+    config = RetailerConfig(
+        locations=6, dates=8, items=24, inventory_rows=300, seed=seed
+    )
+    database = generate_retailer(config)
+    stream = UpdateStream(
+        database,
+        retailer_row_factories(config, database),
+        targets=("Inventory", "Weather"),
+        batch_size=40,
+        insert_ratio=insert_ratio,
+        seed=seed,
+    )
+    return database, list(stream.tuples(total_updates))
+
+
+def reference_result(database, events, batch_size):
+    engine = FIVMEngine(retailer_query(CountSpec()), order=retailer_variable_order())
+    engine.initialize(database)
+    engine.apply_stream(iter(events), batch_size=batch_size)
+    return engine.result(), engine.stats
+
+
+class TestShardDeterminism:
+    """Same stream, any shard count, any batch size: identical results."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("batch_size", [1, 100])
+    def test_root_payloads_and_stats_match_unsharded(self, shards, batch_size):
+        database, events = retailer_setup()
+        expected, expected_stats = reference_result(database, events, batch_size)
+        engine = ShardedEngine(
+            retailer_query(CountSpec()),
+            order=retailer_variable_order(),
+            shards=shards,
+            backend="serial",
+        )
+        with engine:
+            engine.initialize(database)
+            engine.apply_stream(iter(events), batch_size=batch_size)
+            assert engine.result() == expected
+            # Coordinator totals track exactly what the unsharded engine saw.
+            assert engine.stats.updates_applied == expected_stats.updates_applied
+            assert engine.stats.tuples_applied == expected_stats.tuples_applied
+            assert engine.stats.batches_applied == expected_stats.batches_applied
+
+    @pytest.mark.parametrize("batch_size", [1, 100])
+    def test_delete_heavy_stream_with_cancellation(self, batch_size):
+        # Mostly deletes: +/- pairs cancel inside batches and views shrink.
+        database, events = retailer_setup(insert_ratio=0.3, seed=9)
+        expected, _ = reference_result(database, events, batch_size)
+        results = {}
+        for shards in (1, 2, 4):
+            engine = ShardedEngine(
+                retailer_query(CountSpec()),
+                order=retailer_variable_order(),
+                shards=shards,
+                backend="serial",
+            )
+            with engine:
+                engine.initialize(database)
+                engine.apply_stream(iter(events), batch_size=batch_size)
+                results[shards] = engine.result()
+        assert all(result == expected for result in results.values())
+
+    def test_shard_counts_agree_on_aggregated_shard_stats(self):
+        database, events = retailer_setup()
+        totals = {}
+        for shards in (1, 2, 4):
+            engine = ShardedEngine(
+                retailer_query(CountSpec()),
+                order=retailer_variable_order(),
+                shards=shards,
+                backend="serial",
+            )
+            with engine:
+                engine.initialize(database)
+                engine.apply_stream(iter(events), batch_size=50)
+                totals[shards] = engine.aggregate_stats()
+        # Routed relations land exactly once, so summed shard updates are
+        # shard-count independent (this stream targets only routed relations).
+        assert (
+            totals[1]["updates_applied"]
+            == totals[2]["updates_applied"]
+            == totals[4]["updates_applied"]
+        )
+
+
+@pytest.mark.skipif(
+    "process" not in available_backends(), reason="fork unavailable"
+)
+class TestProcessBackend:
+    def test_process_equals_serial_and_unsharded(self):
+        database, events = retailer_setup(total_updates=600)
+        expected, _ = reference_result(database, events, 100)
+        engine = ShardedEngine(
+            retailer_query(CountSpec()),
+            order=retailer_variable_order(),
+            shards=2,
+            backend="process",
+        )
+        with engine:
+            engine.initialize(database)
+            engine.apply_stream(iter(events), batch_size=100)
+            assert engine.result() == expected
+            aggregated = engine.aggregate_stats()
+            assert aggregated["updates_applied"] > 0
+            report = engine.memory_report()
+            assert all(entry["entries"] >= 0 for entry in report.values())
+
+    def test_covar_payloads_cross_process(self):
+        # Non-scalar ring payloads must survive the pipe round-trip.
+        query = toy_covar_continuous_query()
+        reference = FIVMEngine(query, order=toy_variable_order())
+        reference.initialize(toy_database())
+        engine = ShardedEngine(
+            query, order=toy_variable_order(), shards=2, backend="process"
+        )
+        with engine:
+            engine.initialize(toy_database())
+            delta = Relation(("A", "B"), name="R")
+            delta.data = {("a1", 5): 1, ("a3", 2): 1}
+            reference.apply("R", delta)
+            engine.apply("R", delta)
+            assert engine.result().close_to(reference.result(), 1e-9)
+
+
+class TestShardedEngineBasics:
+    def test_toy_query_shards(self):
+        engine = ShardedEngine(
+            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+        )
+        with engine:
+            engine.initialize(toy_database())
+            assert engine.result().payload(()) == 3
+            delta = Relation(("A", "B"), name="R")
+            delta.data = {("a1", 9): 1}
+            engine.apply("R", delta)
+            # a1 joins two S tuples: 3 + 2.
+            assert engine.result().payload(()) == 5
+
+    def test_requires_initialize(self):
+        engine = ShardedEngine(
+            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+        )
+        with pytest.raises(EngineError):
+            engine.apply("R", Relation(("A", "B"), name="R"))
+
+    def test_close_then_reinitialize(self):
+        engine = ShardedEngine(
+            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+        )
+        engine.initialize(toy_database())
+        engine.close()
+        with pytest.raises(EngineError):
+            engine.result()
+        engine.initialize(toy_database())
+        assert engine.result().payload(()) == 3
+        engine.close()
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(EngineError):
+            ShardedEngine(toy_count_query(), shards=0)
+        with pytest.raises(EngineError):
+            ShardedEngine(toy_count_query(), shards=2, backend="nope")
+
+    def test_memory_report_sums_shards(self):
+        database, _ = retailer_setup()
+        unsharded = FIVMEngine(
+            retailer_query(CountSpec()), order=retailer_variable_order()
+        )
+        unsharded.initialize(database)
+        engine = ShardedEngine(
+            retailer_query(CountSpec()),
+            order=retailer_variable_order(),
+            shards=3,
+            backend="serial",
+        )
+        with engine:
+            engine.initialize(database)
+            report = engine.memory_report()
+            base = unsharded.memory_report()
+            assert set(report) == set(base)
+            # Leaf view of a routed relation: shard slices partition the
+            # keys, so summed entries equal the unsharded count.
+            assert report["V_Inventory"]["entries"] == base["V_Inventory"]["entries"]
+            # Broadcast relations are replicated per shard.
+            assert report["V_Item"]["entries"] == 3 * base["V_Item"]["entries"]
+
+    def test_describe_mentions_plan(self):
+        engine = ShardedEngine(
+            retailer_query(CountSpec()),
+            order=retailer_variable_order(),
+            shards=2,
+            backend="serial",
+        )
+        text = engine.describe()
+        assert "locn" in text and "x2" in text

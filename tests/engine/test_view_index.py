@@ -293,3 +293,65 @@ class TestCheckpointWithIndexes:
         plain.apply("S", delta)
         clone.apply("S", delta)
         assert clone.result() == plain.result()
+
+
+class TestAdaptiveProbeVsScan:
+    """Per-step probe-vs-scan choice from |delta| vs sibling size."""
+
+    def small_engine(self, **kwargs):
+        engine = FIVMEngine(
+            toy_count_query(), order=toy_variable_order(), **kwargs
+        )
+        engine.initialize(toy_database())
+        return engine
+
+    def big_delta(self, n=1200):
+        delta = Relation(R_SCHEMA, name="R")
+        delta.data = {(f"a{i}", i): 1 for i in range(n)}
+        return delta
+
+    def test_large_delta_takes_scan_path(self):
+        # |delta| = 1200 against a 2-key sibling: far past the ratio.
+        engine = self.small_engine()
+        engine.apply("R", self.big_delta())
+        assert engine.stats.scan_steps == 1
+        assert engine.stats.probe_steps == 0
+
+    def test_adaptive_off_always_probes(self):
+        engine = self.small_engine(adaptive_probe=False)
+        engine.apply("R", self.big_delta())
+        assert engine.stats.scan_steps == 0
+        assert engine.stats.probe_steps == 1
+
+    def test_small_delta_always_probes(self):
+        engine = self.small_engine()
+        engine.apply("R", delta_of(R_SCHEMA, {("a1", 7): 1}, name="R"))
+        assert engine.stats.scan_steps == 0
+        assert engine.stats.probe_steps == 1
+
+    def test_adaptive_and_probe_only_agree(self):
+        adaptive = self.small_engine()
+        probe_only = self.small_engine(adaptive_probe=False)
+        oracle = NaiveEngine(toy_count_query(), order=toy_variable_order())
+        oracle.initialize(toy_database())
+        deltas = [
+            ("R", self.big_delta()),
+            ("S", delta_of(S_SCHEMA, {("a5", 1, 1): 1, ("a6", 2, 2): 2}, name="S")),
+            ("R", self.big_delta().neg()),
+        ]
+        for name, delta in deltas:
+            adaptive.apply(name, delta.copy())
+            probe_only.apply(name, delta.copy())
+            oracle.apply(name, delta.copy())
+        assert adaptive.result() == oracle.result()
+        assert probe_only.result() == oracle.result()
+        assert adaptive.stats.scan_steps >= 1
+
+    def test_counters_roundtrip_through_snapshot(self):
+        engine = self.small_engine()
+        engine.apply("R", self.big_delta())
+        snapshot = engine.export_state()
+        restored = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        restored.import_state(snapshot)
+        assert restored.stats.scan_steps == engine.stats.scan_steps
+        assert restored.stats.probe_steps == engine.stats.probe_steps

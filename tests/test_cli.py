@@ -105,6 +105,26 @@ class TestBench:
         assert "fivm" in out and "naive" in out
         assert "all engines agree" in out
 
+    def test_sharded_engine_row(self, capsys):
+        code, out = run_cli(
+            capsys,
+            [
+                "bench",
+                "--batches",
+                "2",
+                "--batch-size",
+                "50",
+                "--shards",
+                "2",
+                "--shard-backend",
+                "serial",
+            ]
+            + SMALL,
+        )
+        assert code == 0
+        assert "fivm x2" in out and "shards=2" in out
+        assert "all engines agree" in out
+
 
 class TestParser:
     def test_requires_subcommand(self):
