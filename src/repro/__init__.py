@@ -40,6 +40,14 @@ from repro.apps import (
     ModelSelectionApp,
     RegressionApp,
 )
+from repro.checkpoint import (
+    CheckpointInfo,
+    checkpoint_sink,
+    read_checkpoint,
+    read_checkpoint_info,
+    restore_checkpoint,
+    write_checkpoint,
+)
 from repro.data import (
     Database,
     DatabaseSchema,
@@ -56,9 +64,11 @@ from repro.engine import (
     MaintenanceEngine,
     NaiveEngine,
     PerAggregateEngine,
+    ShardedEngine,
     evaluate_tree,
 )
 from repro.errors import (
+    CheckpointError,
     DataError,
     EngineError,
     FIVMError,
@@ -116,6 +126,14 @@ __all__ = [
     "DataError",
     "QueryError",
     "EngineError",
+    "CheckpointError",
+    # checkpointing
+    "CheckpointInfo",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_checkpoint_info",
+    "restore_checkpoint",
+    "checkpoint_sink",
     # data
     "Relation",
     "Database",
@@ -161,6 +179,7 @@ __all__ = [
     "FirstOrderEngine",
     "NaiveEngine",
     "PerAggregateEngine",
+    "ShardedEngine",
     "evaluate_tree",
     # ml
     "Column",

@@ -1,0 +1,296 @@
+"""Durable engine checkpoints: a versioned, compressed on-disk format.
+
+A long-running ingestion must be able to stop and resume without
+replaying the stream — in F-IVM the materialized ring views *are* the
+entire system state, so a checkpoint is exactly an engine state snapshot
+(:meth:`~repro.engine.base.MaintenanceEngine.export_state`) made durable.
+This module owns the file envelope around those snapshots:
+
+- ``magic || pickled header || (optionally zlib-compressed) pickled state``
+- the header is readable without decompressing the state
+  (:func:`read_checkpoint_info`), carries the file-format version,
+  engine provenance (strategy, payload kind, query name), creation time,
+  sizes and free-form metadata; it is parsed with a *restricted*
+  unpickler that admits only primitive values, so inspecting a file
+  cannot execute code smuggled into its header;
+- writes are atomic (unique temp file + ``os.replace``), so a crash
+  mid-write never corrupts the previous checkpoint — which is what
+  makes :func:`checkpoint_sink` safe as a periodic
+  ``apply_stream(checkpoint_every=...)`` hook.
+
+Trust model: the *state* blob holds arbitrary ring payloads and is
+therefore a regular pickle — :func:`read_checkpoint` /
+:func:`restore_checkpoint` must only be pointed at checkpoints from a
+trusted source, like any pickle-based snapshot format. Header-only
+inspection (:func:`read_checkpoint_info`, ``repro checkpoint info``) is
+safe on untrusted files.
+
+Shard-count portability is a property of the *state* layer, not the file
+layer: sharded snapshots are exported in the global normal form (see
+:class:`~repro.engine.sharded.ShardedEngine`), so a checkpoint written by
+a 4-shard engine restores into a 2-shard, 1-shard or unsharded engine
+unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CheckpointInfo",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_checkpoint_info",
+    "restore_checkpoint",
+    "checkpoint_sink",
+]
+
+#: File magic: identifies a file as an F-IVM checkpoint before any
+#: unpickling happens.
+MAGIC = b"FIVMCKPT"
+
+#: Version of the on-disk envelope (magic/header/blob layout). Distinct
+#: from the *state* format version inside
+#: (:attr:`~repro.engine.base.MaintenanceEngine.STATE_FORMAT_VERSION`),
+#: which the restoring engine validates.
+FILE_VERSION = 1
+
+COMPRESSIONS = ("zlib", "none")
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Header of one checkpoint file (everything but the state itself)."""
+
+    path: str
+    file_version: int
+    format_version: int
+    strategy: str
+    query: str
+    payload: str
+    compression: str
+    created_at: float
+    state_bytes: int
+    file_bytes: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line summary for CLI output and logs."""
+        ratio = self.state_bytes / self.file_bytes if self.file_bytes else 0.0
+        return (
+            f"{self.path}: query={self.query!r} strategy={self.strategy} "
+            f"payload={self.payload} v{self.format_version} "
+            f"{self.file_bytes} bytes on disk ({self.state_bytes} raw, "
+            f"{self.compression}, {ratio:.1f}x)"
+        )
+
+
+def write_checkpoint(
+    engine,
+    path: str,
+    compression: str = "zlib",
+    level: int = 6,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> CheckpointInfo:
+    """Export ``engine``'s state and write it to ``path`` atomically.
+
+    ``metadata`` is stored verbatim in the header — callers use it to
+    record how to rebuild the stream (dataset, seed, events applied).
+    Stick to primitive values (numbers, strings, lists, dicts): the
+    header is read back with a restricted unpickler that rejects
+    arbitrary objects. Returns the written :class:`CheckpointInfo`.
+    """
+    if compression not in COMPRESSIONS:
+        raise CheckpointError(
+            f"unknown compression {compression!r}; expected one of {COMPRESSIONS}"
+        )
+    state = engine.export_state()
+    blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    body = zlib.compress(blob, level) if compression == "zlib" else blob
+    header = {
+        "file_version": FILE_VERSION,
+        "format_version": state.get("format_version"),
+        "strategy": str(state.get("strategy")),
+        "query": str(state.get("query")),
+        "payload": str(state.get("payload")),
+        "compression": compression,
+        "created_at": time.time(),
+        "state_bytes": len(blob),
+        "metadata": dict(metadata or {}),
+    }
+    path = os.fspath(path)
+    # Unique scratch name in the target directory: concurrent writers to
+    # the same path each publish a complete file via os.replace (last one
+    # wins) instead of truncating each other's in-progress temp file.
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(MAGIC)
+            pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(body)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):  # pragma: no cover - error cleanup
+            os.unlink(tmp_path)
+    return _info(path, header, os.path.getsize(path))
+
+
+def read_checkpoint_info(path: str) -> CheckpointInfo:
+    """Read a checkpoint's header without loading (or decompressing) state."""
+    with open(path, "rb") as handle:
+        header = _read_header(handle, path)
+    return _info(path, header, os.path.getsize(path))
+
+
+def read_checkpoint(path: str) -> Tuple[CheckpointInfo, Dict[str, Any]]:
+    """Read a checkpoint file; returns ``(info, engine state dict)``."""
+    with open(path, "rb") as handle:
+        header = _read_header(handle, path)
+        body = handle.read()
+    if header["compression"] == "zlib":
+        try:
+            blob = zlib.decompress(body)
+        except zlib.error as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint state in {path!r}: {exc}"
+            ) from None
+    else:
+        blob = body
+    if len(blob) != header["state_bytes"]:
+        raise CheckpointError(
+            f"truncated checkpoint {path!r}: state is {len(blob)} bytes, "
+            f"header promises {header['state_bytes']}"
+        )
+    try:
+        state = pickle.loads(blob)
+    except Exception as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint state in {path!r}: {exc!r}"
+        ) from None
+    return _info(path, header, os.path.getsize(path)), state
+
+
+def restore_checkpoint(engine, path: str) -> CheckpointInfo:
+    """Read ``path`` and import its state into ``engine``.
+
+    The engine validates provenance (query name, state format version,
+    payload kind) and raises :class:`~repro.errors.EngineError` on any
+    mismatch; file-level corruption raises
+    :class:`~repro.errors.CheckpointError`.
+    """
+    info, state = read_checkpoint(path)
+    engine.import_state(state)
+    return info
+
+
+def checkpoint_sink(
+    path: str,
+    compression: str = "zlib",
+    level: int = 6,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> Callable:
+    """Periodic-snapshot callback for ``apply_stream(checkpoint_every=N)``.
+
+    Every invocation rewrites ``path`` atomically (latest snapshot wins —
+    recovery wants the most recent state, and atomic replace means a
+    crash mid-write leaves the previous snapshot intact). The stream
+    position is recorded as ``events_processed`` in the header metadata
+    so recovery knows where to resume the stream.
+    """
+
+    def on_checkpoint(engine, events_processed: int) -> None:
+        meta = dict(metadata or {})
+        meta["events_processed"] = events_processed
+        write_checkpoint(
+            engine, path, compression=compression, level=level, metadata=meta
+        )
+
+    return on_checkpoint
+
+
+# ----------------------------------------------------------------------
+
+
+class _HeaderUnpickler(pickle.Unpickler):
+    """Primitive-values-only unpickler for checkpoint headers.
+
+    Headers hold nothing but dicts, strings and numbers, so any GLOBAL
+    opcode is either corruption or a code-execution payload — refuse it.
+    """
+
+    def find_class(self, module, name):
+        raise CheckpointError(
+            f"checkpoint header references {module}.{name}; headers may "
+            "only contain primitive values"
+        )
+
+
+def _read_header(handle, path: str) -> Dict[str, Any]:
+    magic = handle.read(len(MAGIC))
+    if magic != MAGIC:
+        raise CheckpointError(
+            f"{path!r} is not an F-IVM checkpoint (bad magic {magic!r})"
+        )
+    try:
+        header = _HeaderUnpickler(handle).load()
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint header in {path!r}: {exc!r}"
+        ) from None
+    if not isinstance(header, dict):
+        raise CheckpointError(
+            f"corrupt checkpoint header in {path!r}: not a mapping"
+        )
+    version = header.get("file_version")
+    if version != FILE_VERSION:
+        raise CheckpointError(
+            f"unknown checkpoint file version {version!r} in {path!r}; "
+            f"this build reads version {FILE_VERSION}"
+        )
+    compression = header.get("compression")
+    if compression not in COMPRESSIONS:
+        raise CheckpointError(
+            f"unknown compression {compression!r} in {path!r}"
+        )
+    missing = [
+        key
+        for key in (
+            "format_version", "strategy", "query", "payload",
+            "created_at", "state_bytes",
+        )
+        if key not in header
+    ]
+    if missing:
+        raise CheckpointError(
+            f"corrupt checkpoint header in {path!r}: missing {missing}"
+        )
+    return header
+
+
+def _info(path: str, header: Mapping[str, Any], file_bytes: int) -> CheckpointInfo:
+    return CheckpointInfo(
+        path=os.fspath(path),
+        file_version=int(header["file_version"]),
+        format_version=int(header["format_version"]),
+        strategy=header["strategy"],
+        query=header["query"],
+        payload=header["payload"],
+        compression=header["compression"],
+        created_at=float(header["created_at"]),
+        state_bytes=int(header["state_bytes"]),
+        file_bytes=int(file_bytes),
+        metadata=dict(header.get("metadata") or {}),
+    )

@@ -6,7 +6,9 @@ its scriptable equivalent:
 - ``repro info``    — the Maintenance Strategy tab: view tree + M3 code;
 - ``repro run``     — Model Selection / Regression / Chow-Liu over bulks
   of updates on a chosen dataset;
-- ``repro bench``   — a one-command engine comparison.
+- ``repro bench``   — a one-command engine comparison;
+- ``repro checkpoint`` — save/restore engine state mid-stream
+  (``save``/``load``/``info``), including across shard counts.
 
 Usage (installed entry point or module)::
 
@@ -14,14 +16,25 @@ Usage (installed entry point or module)::
     python -m repro run --dataset retailer --app regression --bulks 3
     python -m repro run --dataset favorita --app model-selection
     python -m repro bench --dataset retailer --batches 5
+    python -m repro checkpoint save ckpt.fivm --updates 2000 --shards 4
+    python -m repro checkpoint load ckpt.fivm --shards 2 --verify
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
+import itertools
 import sys
 import time
 from typing import List, Optional
+
+from repro.checkpoint import (
+    checkpoint_sink,
+    read_checkpoint_info,
+    restore_checkpoint,
+    write_checkpoint,
+)
 
 from repro.apps import (
     ChowLiuApp,
@@ -282,6 +295,184 @@ def cmd_bench(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Checkpointing
+# ----------------------------------------------------------------------
+
+
+def _checkpoint_spec(args, payload: str):
+    if payload == "covar":
+        features, _label = _regression_features(args)
+        return CovarSpec(features)
+    return CountSpec()
+
+
+def _checkpoint_engine(args, query, order):
+    if args.shards > 1:
+        return ShardedEngine(
+            query, order=order, shards=args.shards, backend=args.shard_backend
+        )
+    return FIVMEngine(query, order=order)
+
+
+def _counting(events, counter):
+    """Pass events through, tallying them in ``counter[0]`` — keeps the
+    CLI's memory O(batch) instead of materializing the whole stream."""
+    for event in events:
+        counter[0] += 1
+        yield event
+
+
+def _checkpoint_stream(meta, db, factories, targets):
+    return UpdateStream(
+        db,
+        factories,
+        targets=targets,
+        batch_size=int(meta["batch_size"]),
+        insert_ratio=float(meta["insert_ratio"]),
+        seed=int(meta["seed"]),
+    )
+
+
+def cmd_checkpoint_save(args) -> int:
+    db, _schemas, order, query_of, factories, targets = _dataset(args)
+    query = query_of(_checkpoint_spec(args, args.payload))
+    stream = UpdateStream(
+        db,
+        factories,
+        targets=targets,
+        batch_size=args.batch_size,
+        insert_ratio=args.insert_ratio,
+        seed=args.seed,
+    )
+    # "updates" starts as the requested target; periodic snapshots carry
+    # the exact position as events_processed, and the final write below
+    # replaces it with the exact emitted count (streams emit in whole
+    # batches, so the count can slightly exceed the target).
+    metadata = {
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "seed": args.seed,
+        "payload": args.payload,
+        "updates": args.updates,
+        "batch_size": args.batch_size,
+        "insert_ratio": args.insert_ratio,
+    }
+    counter = [0]
+    events = _counting(stream.tuples(args.updates), counter)
+    engine = _checkpoint_engine(args, query, order)
+    try:
+        engine.initialize(db)
+        if args.every:
+            engine.apply_stream(
+                events,
+                batch_size=args.batch_size,
+                checkpoint_every=args.every,
+                on_checkpoint=checkpoint_sink(
+                    args.path, compression=args.compression, metadata=metadata
+                ),
+            )
+        else:
+            engine.apply_stream(events, batch_size=args.batch_size)
+        metadata["updates"] = counter[0]
+        info = write_checkpoint(
+            engine, args.path, compression=args.compression, metadata=metadata
+        )
+    finally:
+        if isinstance(engine, ShardedEngine):
+            engine.close()
+    shard_note = f", {args.shards} shards" if args.shards > 1 else ""
+    print(
+        f"# saved checkpoint after {counter[0]} updates "
+        f"({args.dataset}, {args.payload} payload{shard_note})"
+    )
+    print(info.describe())
+    return 0
+
+
+def cmd_checkpoint_load(args) -> int:
+    info = read_checkpoint_info(args.path)
+    meta = info.metadata
+    required = (
+        "dataset", "scale", "seed", "payload",
+        "updates", "batch_size", "insert_ratio",
+    )
+    missing = [key for key in required if key not in meta]
+    if missing:
+        print(
+            f"checkpoint lacks stream metadata {missing}; was it written "
+            "by 'repro checkpoint save'?",
+            file=sys.stderr,
+        )
+        return 1
+    # Rebuild the dataset and stream exactly as `save` did (seeded, hence
+    # deterministic), then restore into the *requested* topology — the
+    # checkpoint's shard count need not match --shards.
+    args.dataset, args.scale, args.seed = (
+        meta["dataset"], int(meta["scale"]), int(meta["seed"]),
+    )
+    db, _schemas, order, query_of, factories, targets = _dataset(args)
+    query = query_of(_checkpoint_spec(args, meta["payload"]))
+    engine = _checkpoint_engine(args, query, order)
+    try:
+        restore_checkpoint(engine, args.path)
+        position = int(meta.get("events_processed", meta["updates"]))
+        print(f"# restored {info.describe()}")
+        print(
+            f"stream position: {position} updates "
+            f"(root views: {len(engine.result())} entries, "
+            f"counters: {engine.stats.updates_applied} updates applied)"
+        )
+        if args.resume_updates or args.verify:
+            total = int(meta["updates"]) + args.resume_updates
+            # Regenerate the seeded stream and skip the already-applied
+            # prefix lazily — memory stays O(batch), not O(stream).
+            stream = _checkpoint_stream(meta, db, factories, targets)
+            counter = [0]
+            remaining = _counting(
+                itertools.islice(stream.tuples(total), position, None),
+                counter,
+            )
+            engine.apply_stream(remaining, batch_size=int(meta["batch_size"]))
+            print(f"resumed {counter[0]} updates from the stream")
+            if args.verify:
+                reference = FIVMEngine(
+                    query_of(_checkpoint_spec(args, meta["payload"])),
+                    order=order,
+                )
+                reference.initialize(db)
+                replay = _checkpoint_stream(meta, db, factories, targets)
+                reference.apply_stream(
+                    replay.tuples(total), batch_size=int(meta["batch_size"])
+                )
+                if engine.result().close_to(reference.result(), 1e-9):
+                    print(
+                        "restored + resumed result identical to "
+                        "uninterrupted ingestion ✓"
+                    )
+                else:  # pragma: no cover - would be a checkpointing bug
+                    print(
+                        "FAIL: restored result diverges from uninterrupted "
+                        "ingestion",
+                        file=sys.stderr,
+                    )
+                    return 1
+    finally:
+        if isinstance(engine, ShardedEngine):
+            engine.close()
+    return 0
+
+
+def cmd_checkpoint_info(args) -> int:
+    info = read_checkpoint_info(args.path)
+    created = datetime.datetime.fromtimestamp(info.created_at)
+    print(info.describe())
+    print(f"created: {created.isoformat(timespec='seconds')}")
+    for key in sorted(info.metadata):
+        print(f"  {key}: {info.metadata[key]}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -352,6 +543,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard execution backend (auto: fork processes when available)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    ckpt = sub.add_parser(
+        "checkpoint", help="save/restore engine state (incl. across shard counts)"
+    )
+    ckpt_sub = ckpt.add_subparsers(dest="checkpoint_command", required=True)
+
+    def topology(p):
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="engine topology: 1 = plain F-IVM, >1 = ShardedEngine",
+        )
+        p.add_argument(
+            "--shard-backend",
+            choices=("auto", "serial", "process"),
+            default="auto",
+        )
+
+    save = ckpt_sub.add_parser(
+        "save", help="ingest a seeded stream, then snapshot the engine"
+    )
+    common(save)
+    topology(save)
+    save.add_argument("path", help="checkpoint file to write")
+    save.add_argument("--payload", choices=("count", "covar"), default="count")
+    save.add_argument("--updates", type=int, default=2000)
+    save.add_argument("--batch-size", type=int, default=500)
+    save.add_argument("--insert-ratio", type=float, default=0.7)
+    save.add_argument(
+        "--every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also snapshot every N updates while ingesting (0: only at the end)",
+    )
+    save.add_argument("--compression", choices=("zlib", "none"), default="zlib")
+    save.set_defaults(func=cmd_checkpoint_save)
+
+    load = ckpt_sub.add_parser(
+        "load",
+        help=(
+            "restore a checkpoint into a (possibly differently sharded) "
+            "engine; optionally resume and verify against full replay"
+        ),
+    )
+    topology(load)
+    load.add_argument("path", help="checkpoint file to read")
+    load.add_argument(
+        "--resume-updates",
+        type=int,
+        default=0,
+        metavar="K",
+        help="replay K further stream updates after restoring",
+    )
+    load.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay the whole stream from scratch and compare results",
+    )
+    load.set_defaults(func=cmd_checkpoint_load)
+
+    info_ckpt = ckpt_sub.add_parser("info", help="print a checkpoint's header")
+    info_ckpt.add_argument("path", help="checkpoint file to inspect")
+    info_ckpt.set_defaults(func=cmd_checkpoint_info)
     return parser
 
 

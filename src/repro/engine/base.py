@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Iterable, Tuple
+from typing import Any, Callable, ClassVar, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Relation
@@ -112,6 +112,18 @@ class MaintenanceEngine(ABC):
     #: Human-readable engine name used in benchmark tables.
     strategy = "abstract"
 
+    #: Version of the state dict :meth:`export_state` writes. Bump when the
+    #: payload layout changes incompatibly; :meth:`import_state` rejects
+    #: versions it does not read with a clear error.
+    STATE_FORMAT_VERSION: ClassVar[int] = 1
+
+    #: What kind of state this engine snapshots: ``"views"`` (materialized
+    #: view tree — F-IVM and the sharded coordinator, mutually restorable),
+    #: ``"relations"`` (base relations + result — naive and first-order,
+    #: mutually restorable) or ``"aggregates"`` (nested per-aggregate view
+    #: states). Import rejects a snapshot of a different kind.
+    state_payload: ClassVar[str] = ""
+
     def __init__(self, query: Query):
         self.query = query
         self.stats = EngineStatistics()
@@ -171,6 +183,8 @@ class MaintenanceEngine(ABC):
         self,
         events: Iterable[Tuple[str, Tuple, int]],
         batch_size: int = 1000,
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[["MaintenanceEngine", int], None]] = None,
     ) -> None:
         """Consume a stream of single-tuple updates in coalesced batches.
 
@@ -180,9 +194,24 @@ class MaintenanceEngine(ABC):
         per-relation deltas of roughly ``batch_size`` updates, and each
         flushed batch goes through :meth:`apply_many`. The final partial
         batch is flushed when the stream ends.
+
+        With ``checkpoint_every=N``, after every N consumed events the
+        pending batch is flushed and ``on_checkpoint(engine, count)`` runs
+        with all consumed events applied — the periodic-snapshot hook for
+        long-running ingestion (pair it with
+        :func:`repro.checkpoint.checkpoint_sink` to persist to disk).
+        The callback is *not* invoked again for a final partial window;
+        write a final checkpoint after the stream if you need one.
         """
         from repro.data.batcher import UpdateBatcher
 
+        if checkpoint_every < 0:
+            raise EngineError("checkpoint_every must be >= 0")
+        if checkpoint_every and on_checkpoint is None:
+            raise EngineError(
+                "checkpoint_every needs an on_checkpoint callback "
+                "(e.g. repro.checkpoint.checkpoint_sink(path))"
+            )
         schemas = {
             name: self.query.schema_of(name).attributes
             for name in self.query.relation_names
@@ -190,9 +219,105 @@ class MaintenanceEngine(ABC):
         batcher = UpdateBatcher(
             schemas, batch_size=batch_size, on_flush=self.apply_many
         )
+        count = 0
         for relation_name, row, multiplicity in events:
             batcher.add(relation_name, row, multiplicity)
+            count += 1
+            if checkpoint_every and count % checkpoint_every == 0:
+                # flush() returns without delivering to on_flush; apply the
+                # remainder so the snapshot covers every consumed event.
+                pending = batcher.flush()
+                if pending:
+                    self.apply_many(pending)
+                on_checkpoint(self, count)
         batcher.close()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """Picklable snapshot of the maintained state.
+
+        The dict carries a shared header — ``format_version``, ``payload``
+        (state kind), ``strategy``, ``query`` (provenance) and ``stats``
+        (maintenance counters) — plus the engine-specific payload from
+        :meth:`_export_payload`. Engines sharing a payload kind restore
+        each other's snapshots; see :mod:`repro.checkpoint` for the
+        durable on-disk envelope.
+        """
+        self._require_initialized()
+        state: Dict[str, Any] = {
+            "format_version": self.STATE_FORMAT_VERSION,
+            "payload": self.state_payload,
+            "strategy": self.strategy,
+            "query": self.query.name,
+        }
+        state.update(self._export_payload())
+        state["stats"] = self.stats.snapshot()
+        return state
+
+    def import_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        The engine must have been built for the same query (the header's
+        ``query`` name is validated — a snapshot from a different query
+        with coincidentally matching view names must not restore) and the
+        snapshot's ``format_version``/``payload`` kind must match what
+        this build reads. Maintenance counters are restored from the
+        snapshot's ``stats`` (reset to zero when absent).
+        """
+        self._validate_state(state)
+        self._import_payload(state)
+        self.stats = EngineStatistics()
+        self.stats.restore(state.get("stats") or {})
+        self._initialized = True
+        self._after_restore()
+
+    def _validate_state(self, state: Mapping[str, Any]) -> None:
+        if not isinstance(state, Mapping):
+            raise EngineError(
+                f"engine state must be a mapping, got {type(state).__name__}"
+            )
+        version = state.get("format_version")
+        if version is None:
+            raise EngineError(
+                "state has no 'format_version' field — not produced by "
+                "export_state()?"
+            )
+        if version != self.STATE_FORMAT_VERSION:
+            raise EngineError(
+                f"unknown state format version {version!r}; this build "
+                f"reads version {self.STATE_FORMAT_VERSION}"
+            )
+        kind = state.get("payload")
+        if kind != self.state_payload:
+            raise EngineError(
+                f"state holds {kind!r} payloads (from a "
+                f"{state.get('strategy', 'unknown')!r} engine) but "
+                f"{type(self).__name__} restores {self.state_payload!r}"
+            )
+        query = state.get("query")
+        if query != self.query.name:
+            raise EngineError(
+                f"state was exported from query {query!r} but this engine "
+                f"maintains {self.query.name!r}"
+            )
+
+    def _export_payload(self) -> Dict[str, Any]:
+        """Engine-specific snapshot contents (hook for :meth:`export_state`)."""
+        raise EngineError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def _import_payload(self, state: Mapping[str, Any]) -> None:
+        """Restore engine-specific contents (hook for :meth:`import_state`)."""
+        raise EngineError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def _after_restore(self) -> None:
+        """Post-restore hook (rebuild derived state such as view sizes)."""
 
     def _require_initialized(self) -> None:
         if not self._initialized:

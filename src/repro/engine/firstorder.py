@@ -18,6 +18,7 @@ from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.engine.base import MaintenanceEngine
 from repro.engine.evaluation import evaluate_tree
+from repro.engine.naive import _restore_relations, _restore_result
 from repro.query.query import Query
 from repro.query.variable_order import VariableOrder
 from repro.viewtree.builder import ViewTree, build_view_tree
@@ -62,3 +63,25 @@ class FirstOrderEngine(MaintenanceEngine):
     def result(self) -> Relation:
         self._require_initialized()
         return self._result
+
+    # ------------------------------------------------------------------
+    # Checkpointing: shares the "relations" payload kind with NaiveEngine
+    # (both maintain exactly the base relations plus the result).
+    # ------------------------------------------------------------------
+
+    state_payload = "relations"
+
+    def _export_payload(self) -> dict:
+        return {
+            "relations": {
+                name: dict(relation.data)
+                for name, relation in self._relations.items()
+            },
+            "result": dict(self._result.data),
+        }
+
+    def _import_payload(self, state) -> None:
+        self._relations = _restore_relations(self.query, state["relations"])
+        self._result = _restore_result(self.tree, state.get("result"))
+        if self._result is None:
+            self._result = evaluate_tree(self.tree, self._relations)

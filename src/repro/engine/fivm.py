@@ -20,7 +20,7 @@ from typing import Dict, Optional
 from repro.data.database import Database
 from repro.data.index import IndexedRelation
 from repro.data.relation import Relation
-from repro.engine.base import EngineStatistics, MaintenanceEngine
+from repro.engine.base import MaintenanceEngine
 from repro.engine.evaluation import evaluate_tree
 from repro.errors import EngineError
 from repro.query.query import Query
@@ -221,33 +221,32 @@ class FIVMEngine(MaintenanceEngine):
     # Checkpointing
     # ------------------------------------------------------------------
 
-    def export_state(self) -> dict:
+    state_payload = "views"
+
+    def _export_payload(self) -> dict:
         """Snapshot of the materialized views (picklable).
 
         The payload plan holds lifting closures, so the engine object
         itself is not serialized — recreate it from the query and restore
         the snapshot with :meth:`import_state`.
         """
-        self._require_initialized()
         return {
-            "query": self.query.name,
             "views": {
                 name: dict(relation.data)
                 for name, relation in self.materialized.items()
-            },
-            "stats": self.stats.snapshot(),
+            }
         }
 
-    def import_state(self, state: dict) -> None:
-        """Restore a snapshot produced by :meth:`export_state`.
+    def _import_payload(self, state) -> None:
+        """Restore the materialized views of a snapshot.
 
-        The engine must have been built for the same query/order (view
-        names are validated against the current tree). Ring-zero payloads
-        in the snapshot are dropped on restore (snapshots written while a
-        cancellation was parked would otherwise silently inflate view
-        sizes), maintenance counters are restored from the snapshot's
-        ``stats`` (reset to zero when absent), and persistent view
-        indexes are rebuilt from the restored materializations.
+        The engine must have been built for the same query/order (the
+        header provenance is checked by the base class; view names are
+        additionally validated against the current tree). Ring-zero
+        payloads in the snapshot are dropped on restore (snapshots
+        written while a cancellation was parked would otherwise silently
+        inflate view sizes), and persistent view indexes are rebuilt
+        from the restored materializations.
         """
         views = state["views"]
         missing = set(self.tree.views) - set(views)
@@ -266,9 +265,8 @@ class FIVMEngine(MaintenanceEngine):
             )
         if self.use_view_index:
             self._install_indexes()
-        self.stats = EngineStatistics()
-        self.stats.restore(state.get("stats") or {})
-        self._initialized = True
+
+    def _after_restore(self) -> None:
         self._refresh_view_sizes()
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.engine.base import MaintenanceEngine
 from repro.engine.evaluation import evaluate_tree
+from repro.errors import EngineError
 from repro.query.query import Query
 from repro.query.variable_order import VariableOrder
 from repro.viewtree.builder import ViewTree, build_view_tree
@@ -85,3 +86,52 @@ class NaiveEngine(MaintenanceEngine):
             self._result = evaluate_tree(self.tree, self._relations)
             self._stale = False
         return self._result
+
+    # ------------------------------------------------------------------
+    # Checkpointing: base relations plus the current result. The same
+    # "relations" payload kind as FirstOrderEngine, so the two baselines
+    # restore each other's snapshots.
+    # ------------------------------------------------------------------
+
+    state_payload = "relations"
+
+    def _export_payload(self) -> dict:
+        return {
+            "relations": {
+                name: dict(relation.data)
+                for name, relation in self._relations.items()
+            },
+            "result": dict(self.result().data),
+        }
+
+    def _import_payload(self, state) -> None:
+        self._relations = _restore_relations(self.query, state["relations"])
+        self._result = _restore_result(self.tree, state.get("result"))
+        if self._result is None:
+            self._result = evaluate_tree(self.tree, self._relations)
+        self._stale = False
+
+
+def _restore_relations(query, relations) -> Dict[str, Relation]:
+    """Rebuild base relations from a ``"relations"`` snapshot payload."""
+    expected = set(query.relation_names)
+    if set(relations) != expected:
+        raise EngineError(
+            f"snapshot relations {sorted(relations)} do not match the "
+            f"query's {sorted(expected)}"
+        )
+    restored = {}
+    for name, data in relations.items():
+        schema = query.schema_of(name).attributes
+        # Z-relation constructor validates keys, drops zero multiplicities.
+        restored[name] = Relation(schema, data=data, name=name)
+    return restored
+
+
+def _restore_result(tree, data) -> Optional[Relation]:
+    """Rebuild the maintained result (``None`` when the snapshot lacks it)."""
+    if data is None:
+        return None
+    return Relation(
+        tree.root.key, tree.plan.ring, data=data, name=tree.root.name
+    )

@@ -98,6 +98,33 @@ class PerAggregateEngine(MaintenanceEngine):
         payload = engine.result().payload(())
         return float(payload)
 
+    # ------------------------------------------------------------------
+    # Checkpointing: one nested "views" snapshot per scalar aggregate.
+    # ------------------------------------------------------------------
+
+    state_payload = "aggregates"
+
+    def _export_payload(self) -> dict:
+        return {
+            "aggregates": {
+                label: engine.export_state()
+                for label, engine in self.engines.items()
+            }
+        }
+
+    def _import_payload(self, state) -> None:
+        aggregates = state["aggregates"]
+        expected = set(self.aggregates)
+        if set(aggregates) != expected:
+            raise EngineError(
+                f"snapshot aggregates {sorted(aggregates)} do not match "
+                f"this engine's {sorted(expected)} (different feature set?)"
+            )
+        # Each nested state re-validates its own header, so a snapshot
+        # taken over a different query raises before anything restores.
+        for label in self.aggregates:
+            self.engines[label].import_state(aggregates[label])
+
     def covar_matrix(self) -> Tuple[float, np.ndarray, np.ndarray]:
         """Assemble (c, s, Q) from the independent scalar views."""
         self._require_initialized()

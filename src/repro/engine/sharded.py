@@ -18,10 +18,18 @@ Two backends share one protocol:
 - ``"process"`` forks one worker per shard. Deltas travel to workers over
   pipes as plain ``key -> multiplicity`` dicts (fire-and-forget, so the
   coordinator routes batch *n+1* while workers maintain batch *n*);
-  ``result()``/``shard_stats()``/``memory_report()`` are synchronous
-  fan-out/fan-in points. Fork start is required because payload plans
-  hold lifting closures that cannot cross a spawn boundary — workers
-  inherit the query object instead of unpickling it.
+  ``result()``/``shard_stats()``/``memory_report()``/``export_state()``
+  are synchronous fan-out/fan-in points. Fork start is required because
+  payload plans hold lifting closures that cannot cross a spawn boundary
+  — workers inherit the query object instead of unpickling it.
+
+Checkpoints are shard-count portable: ``export_state`` merges per-shard
+view snapshots into the global normal form a plain
+:class:`~repro.engine.fivm.FIVMEngine` would export (ring-additivity of
+the per-shard views makes the merge exact), and ``import_state``
+re-partitions that normal form through the :class:`ShardRouter`, so a
+snapshot written at N shards restores at any M — including M=1, a plain
+F-IVM engine, and across the serial/process backend switch.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Relation
-from repro.data.sharding import ShardRouter
+from repro.data.sharding import ShardRouter, shard_hash
 from repro.engine.base import EngineStatistics, MaintenanceEngine
 from repro.engine.fivm import FIVMEngine
 from repro.errors import EngineError
@@ -77,50 +85,87 @@ def resolve_backend(backend: str, shards: int) -> str:
 
 
 class _SerialBackend:
-    """All shard engines live in the coordinator process."""
+    """All shard engines live in the coordinator process.
+
+    Shards are seeded either from per-shard ``databases`` (initialize) or
+    from per-shard ``states`` (checkpoint restore) — exactly one of the
+    two. A closed backend refuses every operation with a descriptive
+    :class:`EngineError` instead of dying on its emptied engine list.
+    """
 
     name = "serial"
 
     def __init__(
         self,
         factory: Callable[[], MaintenanceEngine],
-        databases: List[Database],
+        databases: Optional[List[Database]] = None,
+        states: Optional[List[dict]] = None,
     ):
-        self.engines = [factory() for _ in databases]
-        for engine, database in zip(self.engines, databases):
-            engine.initialize(database)
+        self.closed = False
+        if (databases is None) == (states is None):
+            raise EngineError(
+                "shard backend needs either databases or states, not both"
+            )
+        if states is None:
+            self.engines = [factory() for _ in databases]
+            for engine, database in zip(self.engines, databases):
+                engine.initialize(database)
+        else:
+            self.engines = [factory() for _ in states]
+            for engine, state in zip(self.engines, states):
+                engine.import_state(state)
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise EngineError(
+                "shard backend is closed; initialize() (or import_state()) "
+                "the engine again before using it"
+            )
 
     def apply(self, shard: int, relation_name: str, delta: Relation) -> None:
+        self._require_open()
         self.engines[shard].apply(relation_name, delta)
 
     def results(self) -> List[Dict]:
+        self._require_open()
         return [engine.result().data for engine in self.engines]
 
     def stats(self) -> List[Dict[str, int]]:
+        self._require_open()
         return [engine.stats.snapshot() for engine in self.engines]
 
     def memory(self) -> List[Dict[str, Dict[str, int]]]:
+        self._require_open()
         return [engine.memory_report() for engine in self.engines]
 
+    def export_states(self) -> List[dict]:
+        self._require_open()
+        return [engine.export_state() for engine in self.engines]
+
     def close(self) -> None:
-        pass
+        self.engines = []
+        self.closed = True
 
 
-def _shard_worker(conn, factory, database) -> None:
+def _shard_worker(conn, factory, database, state=None) -> None:
     """Worker loop: build the engine, then serve the coordinator's pipe.
 
-    Every reply is ``("ok", payload)`` or ``("error", message)``; applies
-    are fire-and-forget, so an apply failure is parked and surfaced at
-    the next synchronous exchange.
+    The engine is seeded from ``state`` (checkpoint restore) when given,
+    otherwise from ``database``. Every reply is ``("ok", payload)`` or
+    ``("error", message)``; applies are fire-and-forget, so an apply
+    failure is parked and surfaced at the next synchronous exchange.
     """
     try:
         engine = factory()
-        engine.initialize(database)
+        if state is not None:
+            engine.import_state(state)
+        else:
+            engine.initialize(database)
         schemas = {
             name: engine.query.schema_of(name).attributes
             for name in engine.query.relation_names
         }
-    except Exception as exc:  # pragma: no cover - init failures are rare
+    except Exception as exc:
         conn.send(("error", f"shard initialization failed: {exc!r}"))
         conn.close()
         return
@@ -149,6 +194,8 @@ def _shard_worker(conn, factory, database) -> None:
                 conn.send(("ok", engine.stats.snapshot()))
             elif op == "memory":
                 conn.send(("ok", engine.memory_report()))
+            elif op == "export":
+                conn.send(("ok", engine.export_state()))
             else:
                 conn.send(("error", f"unknown op {op!r}"))
         except Exception as exc:
@@ -159,24 +206,42 @@ def _shard_worker(conn, factory, database) -> None:
 
 
 class _ProcessBackend:
-    """One forked worker process per shard, one duplex pipe each."""
+    """One forked worker process per shard, one duplex pipe each.
+
+    Like :class:`_SerialBackend`, seeded from per-shard ``databases`` or
+    checkpoint ``states``. The pipe protocol is strictly one reply per
+    synchronous request, so :meth:`_gather` must *always* drain every
+    fanned-out reply — even when a shard reports an error — or the next
+    gather would read the stale replies of the previous op and silently
+    return results for the wrong request.
+    """
 
     name = "process"
 
     def __init__(
         self,
         factory: Callable[[], MaintenanceEngine],
-        databases: List[Database],
+        databases: Optional[List[Database]] = None,
+        states: Optional[List[dict]] = None,
     ):
+        if (databases is None) == (states is None):
+            raise EngineError(
+                "shard backend needs either databases or states, not both"
+            )
         context = multiprocessing.get_context("fork")
+        self.closed = False
         self.connections = []
         self.processes = []
+        seeds = databases if states is None else states
         try:
-            for database in databases:
+            for seed in seeds:
                 parent_conn, child_conn = context.Pipe(duplex=True)
+                database, state = (
+                    (seed, None) if states is None else (None, seed)
+                )
                 process = context.Process(
                     target=_shard_worker,
-                    args=(child_conn, factory, database),
+                    args=(child_conn, factory, database, state),
                     daemon=True,
                 )
                 process.start()
@@ -184,14 +249,24 @@ class _ProcessBackend:
                 self.connections.append(parent_conn)
                 self.processes.append(process)
             for shard, conn in enumerate(self.connections):
-                self._receive(shard, conn)
+                status, payload = self._receive(shard, conn)
+                if status != "ok":
+                    raise EngineError(f"shard {shard}: {payload}")
         except Exception:
             self.close()
             raise
 
     # ------------------------------------------------------------------
 
+    def _require_open(self) -> None:
+        if self.closed:
+            raise EngineError(
+                "shard backend is closed; initialize() (or import_state()) "
+                "the engine again before using it"
+            )
+
     def apply(self, shard: int, relation_name: str, delta: Relation) -> None:
+        self._require_open()
         try:
             self.connections[shard].send(("apply", relation_name, delta.data))
         except (BrokenPipeError, OSError) as exc:
@@ -205,6 +280,9 @@ class _ProcessBackend:
 
     def memory(self) -> List[Dict[str, Dict[str, int]]]:
         return self._gather("memory")
+
+    def export_states(self) -> List[dict]:
+        return self._gather("export")
 
     def close(self) -> None:
         for conn in self.connections:
@@ -221,33 +299,58 @@ class _ProcessBackend:
             conn.close()
         self.connections = []
         self.processes = []
+        self.closed = True
 
     # ------------------------------------------------------------------
 
     def _gather(self, op: str) -> List[Any]:
-        # Fan out first so shards compute concurrently, then fan in.
+        """Fan ``op`` out to every shard, then fan every reply back in.
+
+        Error replies (a parked apply failure, an op that raised) do not
+        stop the fan-in: the remaining replies are drained first so the
+        pipes stay request/reply aligned, then one :class:`EngineError`
+        summarizing every failed shard is raised. The backend stays usable
+        after a drained error; if a worker died mid-gather (EOF/broken
+        pipe) the pipes cannot be realigned, so the backend tears itself
+        down and subsequent ops raise the closed error.
+        """
+        self._require_open()
+        sent: List[Tuple[int, Any]] = []
+        errors: List[str] = []
+        dead = False
         for shard, conn in enumerate(self.connections):
             try:
                 conn.send((op,))
+                sent.append((shard, conn))
             except (BrokenPipeError, OSError) as exc:
-                raise EngineError(
-                    f"shard {shard} worker is gone: {exc!r}"
-                ) from None
-        return [
-            self._receive(shard, conn)
-            for shard, conn in enumerate(self.connections)
-        ]
+                errors.append(f"shard {shard} worker is gone: {exc!r}")
+                dead = True
+        results: List[Any] = [None] * len(self.connections)
+        for shard, conn in sent:
+            try:
+                status, payload = self._receive(shard, conn)
+            except EngineError as exc:
+                errors.append(str(exc))
+                dead = True
+                continue
+            if status != "ok":
+                errors.append(f"shard {shard}: {payload}")
+            else:
+                results[shard] = payload
+        if errors:
+            if dead:
+                self.close()
+            raise EngineError("; ".join(errors))
+        return results
 
-    def _receive(self, shard: int, conn) -> Any:
+    def _receive(self, shard: int, conn) -> Tuple[str, Any]:
+        """One raw ``(status, payload)`` reply; EOF means the worker died."""
         try:
-            status, payload = conn.recv()
+            return conn.recv()
         except EOFError:
             raise EngineError(
                 f"shard {shard} worker died without replying"
             ) from None
-        if status != "ok":
-            raise EngineError(f"shard {shard}: {payload}")
-        return payload
 
 
 # ----------------------------------------------------------------------
@@ -316,12 +419,13 @@ class ShardedEngine(MaintenanceEngine):
             )
         self.backend_name = resolve_backend(backend, self.shards)
         self._backend = None
+        self._was_closed = False
 
     # ------------------------------------------------------------------
 
-    def initialize(self, database: Database) -> None:
-        self.close()
-        partitions = self.router.partition_database(database)
+    def _engine_factory(self) -> Callable[[], FIVMEngine]:
+        # Capture plain locals (not self): the closure crosses the fork
+        # boundary into every worker process.
         query, order = self.query, self.order
         use_view_index, adaptive_probe = self.use_view_index, self.adaptive_probe
 
@@ -333,10 +437,19 @@ class ShardedEngine(MaintenanceEngine):
                 adaptive_probe=adaptive_probe,
             )
 
+        return factory
+
+    def _make_backend(self, **seeds) -> None:
+        factory = self._engine_factory()
         if self.backend_name == "process":
-            self._backend = _ProcessBackend(factory, partitions)
+            self._backend = _ProcessBackend(factory, **seeds)
         else:
-            self._backend = _SerialBackend(factory, partitions)
+            self._backend = _SerialBackend(factory, **seeds)
+        self._was_closed = False
+
+    def initialize(self, database: Database) -> None:
+        self.close()
+        self._make_backend(databases=self.router.partition_database(database))
         self.stats = EngineStatistics()
         self._initialized = True
         self._refresh_view_sizes()
@@ -414,11 +527,20 @@ class ShardedEngine(MaintenanceEngine):
 
     def close(self) -> None:
         """Stop shard workers (idempotent); the engine needs
-        :meth:`initialize` again afterwards."""
+        :meth:`initialize` (or :meth:`import_state`) again afterwards."""
         if self._backend is not None:
             self._backend.close()
             self._backend = None
+            self._was_closed = True
         self._initialized = False
+
+    def _require_initialized(self) -> None:
+        if not self._initialized and self._was_closed:
+            raise EngineError(
+                "ShardedEngine is closed; call initialize() or "
+                "import_state() to reopen it"
+            )
+        super()._require_initialized()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -431,6 +553,158 @@ class ShardedEngine(MaintenanceEngine):
             self.close()
         except Exception:
             pass
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    #: Sharded snapshots are written in the *global* normal form — the
+    #: same "views" payload a plain FIVMEngine over the whole database
+    #: would export — so FIVM and sharded engines of any shard count
+    #: restore each other's checkpoints.
+    state_payload = "views"
+
+    def _export_payload(self) -> dict:
+        """Gather per-shard view snapshots and merge them ring-additively.
+
+        Views whose subtree touches a routed relation partition (or sum)
+        across shards, so their per-shard copies combine with the ring's
+        addition — multilinearity of the join makes the merged view equal
+        the unsharded engine's, the same argument behind :meth:`result`.
+        Views over broadcast relations only are replicated identically on
+        every shard, so one copy is taken instead of a sum.
+        """
+        states = self._backend.export_states()
+        ring = self.tree.plan.ring
+        view_relations = self._view_relations()
+        broadcast = set(self.router.broadcast)
+        views: Dict[str, Dict] = {}
+        for name, node in self.tree.views.items():
+            if view_relations[name] <= broadcast:
+                views[name] = dict(states[0]["views"][name])
+                continue
+            merged = Relation(node.key, ring, name=name)
+            for state in states:
+                part = Relation(node.key, ring)
+                part.data = state["views"][name]
+                merged.add_inplace(part)
+            views[name] = merged.data
+        return {"views": views, "source_shards": self.shards}
+
+    def _import_payload(self, state) -> None:
+        """Restore a "views" snapshot, re-partitioned to this shard count.
+
+        The snapshot's global views are split through the shard router:
+        views keyed on all shard attributes hash-partition entry by entry
+        (every base tuple contributing to an entry shares the entry's
+        shard-attribute values, so the entry belongs to exactly one
+        shard); views over broadcast relations only are replicated; the
+        remaining views — aggregates *above* the shard attributes, e.g.
+        the root — are recomputed per shard from their already-partitioned
+        children, which is exact by definition of the view tree. A
+        checkpoint written at N shards therefore restores at any M
+        (including M=1 and into a plain FIVMEngine) with results
+        identical to uninterrupted ingestion.
+        """
+        views = state["views"]
+        missing = set(self.tree.views) - set(views)
+        unexpected = set(views) - set(self.tree.views)
+        if missing or unexpected:
+            raise EngineError(
+                f"snapshot does not match the view tree "
+                f"(missing={sorted(missing)}, unexpected={sorted(unexpected)})"
+            )
+        shard_views = self._partition_views(views)
+        header = {
+            "format_version": self.STATE_FORMAT_VERSION,
+            "payload": FIVMEngine.state_payload,
+            "strategy": FIVMEngine.strategy,
+            "query": self.query.name,
+        }
+        shard_states = [
+            # Per-shard maintenance counters restart at zero; the
+            # coordinator's restored stats carry the logical stream totals.
+            dict(header, views=per_shard, stats={})
+            for per_shard in shard_views
+        ]
+        self.close()
+        self._make_backend(states=shard_states)
+
+    def _after_restore(self) -> None:
+        self._refresh_view_sizes()
+
+    def _view_relations(self) -> Dict[str, set]:
+        """``view name -> base relations in its subtree`` (bottom-up)."""
+        relations: Dict[str, set] = {}
+        for node in self.tree.all_views():
+            covered = set()
+            if node.relation is not None:
+                covered.add(node.relation)
+            for child in node.children:
+                covered |= relations[child.name]
+            relations[node.name] = covered
+        return relations
+
+    def _partition_views(self, views: Dict[str, Dict]) -> List[Dict[str, Dict]]:
+        """Split global view materializations into per-shard slices."""
+        ring = self.tree.plan.ring
+        attrs = self.router.attrs
+        broadcast = set(self.router.broadcast)
+        view_relations = self._view_relations()
+        per_shard: List[Dict[str, Dict]] = [{} for _ in range(self.shards)]
+        for node in self.tree.all_views():  # children before parents
+            name = node.name
+            data = views[name]
+            if view_relations[name] <= broadcast:
+                # Identical replica on every shard (and a copy per shard:
+                # workers mutate their views independently afterwards).
+                for shard in range(self.shards):
+                    per_shard[shard][name] = dict(data)
+            elif set(attrs) <= set(node.key):
+                positions = tuple(node.key.index(attr) for attr in attrs)
+                buckets: List[Dict] = [{} for _ in range(self.shards)]
+                if self.shards == 1:
+                    buckets[0] = dict(data)
+                else:
+                    shards = self.shards
+                    for key, payload in data.items():
+                        hook = tuple(key[i] for i in positions)
+                        buckets[shard_hash(hook) % shards][key] = payload
+                for shard in range(self.shards):
+                    per_shard[shard][name] = buckets[shard]
+            elif node.is_leaf:  # pragma: no cover - defensive
+                # Unreachable for valid shard plans: a routed relation
+                # contains every shard attribute, and shard attributes are
+                # order variables, hence part of the leaf key.
+                raise EngineError(
+                    f"cannot re-partition snapshot: leaf view {name!r} of "
+                    f"routed relation {node.relation!r} lacks shard "
+                    f"attributes {attrs!r} in its key {node.key!r}"
+                )
+            else:
+                # The shard attributes were marginalized at or below this
+                # node, so per-shard values are not determined by the key.
+                # Recompute from the already-partitioned children — the
+                # same join+marginalize step evaluation uses, exact per
+                # shard and cheap: these views sit at/above the shard
+                # variable, the smallest materializations of the tree.
+                lifts = {
+                    attr: self.tree.plan.lifts[attr] for attr in node.lifted
+                }
+                for shard in range(self.shards):
+                    children = []
+                    for child in node.children:
+                        relation = Relation(child.key, ring)
+                        relation.data = per_shard[shard][child.name]
+                        children.append(relation)
+                    children.sort(key=len)
+                    joined = children[0]
+                    for child in children[1:]:
+                        joined = joined.join(child)
+                    per_shard[shard][name] = joined.marginalize(
+                        node.key, lifts
+                    ).data
+        return per_shard
 
     # ------------------------------------------------------------------
 

@@ -30,3 +30,8 @@ class QueryError(FIVMError):
 
 class EngineError(FIVMError):
     """Engine misuse: applying updates before initialization, unknown relation."""
+
+
+class CheckpointError(FIVMError):
+    """Unreadable or incompatible on-disk checkpoint (bad magic, truncated
+    payload, unknown file version, unsupported compression)."""

@@ -147,6 +147,68 @@ class TestProcessBackend:
             assert engine.result().close_to(reference.result(), 1e-9)
 
 
+@pytest.mark.skipif(
+    "process" not in available_backends(), reason="fork unavailable"
+)
+class TestProcessBackendFailurePaths:
+    def make_engine(self, shards=3):
+        engine = ShardedEngine(
+            toy_count_query(),
+            order=toy_variable_order(),
+            shards=shards,
+            backend="process",
+        )
+        engine.initialize(toy_database())
+        return engine
+
+    def test_one_shard_failure_drains_other_replies(self):
+        # Regression for the pipe desync: when shard k replies with an
+        # error mid-gather, the replies of shards k+1..N-1 must still be
+        # drained, or the next gather reads stale replies and silently
+        # returns results for the wrong op.
+        engine = self.make_engine(shards=3)
+        try:
+            # Inject a failing apply into the middle shard only: the
+            # worker parks the failure and reports it at the next
+            # synchronous exchange.
+            engine._backend.connections[1].send(
+                ("apply", "NoSuchRelation", {})
+            )
+            with pytest.raises(EngineError, match="shard 1"):
+                engine.result()
+            # Pipes stayed request/reply aligned: no stale replies are
+            # parked on the healthy shards' connections.
+            assert not engine._backend.connections[0].poll(0.2)
+            assert not engine._backend.connections[2].poll(0.2)
+            # Subsequent ops keep raising the *original* shard-1 failure
+            # cleanly instead of returning another op's stale payloads.
+            with pytest.raises(EngineError, match="shard 1"):
+                engine.shard_stats()
+            with pytest.raises(EngineError, match="shard 1"):
+                engine.result()
+            # The healthy workers are still alive and in protocol.
+            assert engine._backend.processes[0].is_alive()
+            assert engine._backend.processes[2].is_alive()
+        finally:
+            engine.close()
+
+    def test_dead_worker_tears_backend_down(self):
+        engine = self.make_engine(shards=2)
+        try:
+            engine._backend.processes[0].terminate()
+            engine._backend.processes[0].join(timeout=5.0)
+            with pytest.raises(EngineError, match="shard 0"):
+                engine.result()
+            # A died-mid-gather pipe cannot be realigned: the backend
+            # closed itself, and every later op reports that cleanly.
+            with pytest.raises(EngineError, match="closed"):
+                engine.result()
+            with pytest.raises(EngineError, match="closed"):
+                engine.shard_stats()
+        finally:
+            engine.close()
+
+
 class TestShardedEngineBasics:
     def test_toy_query_shards(self):
         engine = ShardedEngine(
@@ -208,6 +270,43 @@ class TestShardedEngineBasics:
             assert report["V_Inventory"]["entries"] == base["V_Inventory"]["entries"]
             # Broadcast relations are replicated per shard.
             assert report["V_Item"]["entries"] == 3 * base["V_Item"]["entries"]
+
+    def test_closed_engine_raises_descriptive_error(self):
+        engine = ShardedEngine(
+            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+        )
+        engine.initialize(toy_database())
+        engine.close()
+        delta = Relation(("A", "B"), name="R")
+        delta.data = {("a1", 1): 1}
+        for op in (
+            lambda: engine.apply("R", delta),
+            engine.result,
+            engine.shard_stats,
+            engine.export_state,
+        ):
+            with pytest.raises(EngineError, match="closed"):
+                op()
+
+    def test_closed_backend_raises_engine_error_not_index_error(self):
+        # Regression: ops on a closed backend used to die with a bare
+        # IndexError from the emptied connection/engine list.
+        engine = ShardedEngine(
+            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+        )
+        engine.initialize(toy_database())
+        backend = engine._backend
+        engine.close()
+        delta = Relation(("A", "B"), name="R")
+        delta.data = {("a1", 1): 1}
+        with pytest.raises(EngineError, match="closed"):
+            backend.apply(0, "R", delta)
+        with pytest.raises(EngineError, match="closed"):
+            backend.results()
+        with pytest.raises(EngineError, match="closed"):
+            backend.stats()
+        with pytest.raises(EngineError, match="closed"):
+            backend.export_states()
 
     def test_describe_mentions_plan(self):
         engine = ShardedEngine(

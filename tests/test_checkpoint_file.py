@@ -1,0 +1,194 @@
+"""The on-disk checkpoint envelope: format, atomicity, corruption handling."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.checkpoint import (
+    FILE_VERSION,
+    MAGIC,
+    checkpoint_sink,
+    read_checkpoint,
+    read_checkpoint_info,
+    restore_checkpoint,
+    write_checkpoint,
+)
+from repro.data import inserts
+from repro.datasets import (
+    toy_count_query,
+    toy_covar_continuous_query,
+    toy_database,
+    toy_variable_order,
+)
+from repro.engine import FIVMEngine, ShardedEngine
+from repro.errors import CheckpointError, EngineError
+
+
+def fresh_engine(query=None):
+    engine = FIVMEngine(query or toy_count_query(), order=toy_variable_order())
+    engine.initialize(toy_database())
+    return engine
+
+
+class TestWriteRead:
+    @pytest.mark.parametrize("compression", ["zlib", "none"])
+    def test_roundtrip(self, tmp_path, compression):
+        engine = fresh_engine()
+        engine.apply("R", inserts(("A", "B"), [("a1", 1)]))
+        path = tmp_path / "toy.ckpt"
+        info = write_checkpoint(engine, path, compression=compression)
+        assert info.query == "Q_count"
+        assert info.strategy == "fivm"
+        assert info.payload == "views"
+        assert info.compression == compression
+        assert info.file_bytes == os.path.getsize(path)
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        restored_info = restore_checkpoint(clone, path)
+        assert restored_info.state_bytes == info.state_bytes
+        assert clone.result() == engine.result()
+
+    def test_zlib_smaller_than_raw_state(self, tmp_path):
+        engine = fresh_engine(toy_covar_continuous_query())
+        path = tmp_path / "covar.ckpt"
+        info = write_checkpoint(engine, path)
+        assert info.file_bytes < info.state_bytes + len(MAGIC) + 512
+
+    def test_info_without_loading_state(self, tmp_path):
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path, metadata={"note": "hello", "n": 3})
+        info = read_checkpoint_info(path)
+        assert info.metadata == {"note": "hello", "n": 3}
+        assert info.file_version == FILE_VERSION
+        assert info.created_at > 0
+        assert "Q_count" in info.describe()
+
+    def test_read_returns_state(self, tmp_path):
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path)
+        _info, state = read_checkpoint(path)
+        assert set(state["views"]) == {"V_R", "V_S", "V@A"}
+
+    def test_atomic_overwrite_keeps_previous_on_disk(self, tmp_path):
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path)
+        engine.apply("R", inserts(("A", "B"), [("a1", 1)]))
+        write_checkpoint(engine, path)  # replaces, never truncates in place
+        assert not os.path.exists(f"{path}.tmp")
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        restore_checkpoint(clone, path)
+        assert clone.result() == engine.result()
+
+    def test_unknown_compression_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="compression"):
+            write_checkpoint(fresh_engine(), tmp_path / "x.ckpt", compression="lz4")
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "not.ckpt"
+        path.write_bytes(b"definitely not a checkpoint")
+        with pytest.raises(CheckpointError, match="magic"):
+            read_checkpoint_info(path)
+
+    def test_unknown_file_version(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        header = {"file_version": 99, "compression": "none"}
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            pickle.dump(header, handle)
+        with pytest.raises(CheckpointError, match="file version"):
+            read_checkpoint_info(path)
+
+    def test_header_with_global_reference_rejected(self, tmp_path):
+        # Headers are parsed with a restricted unpickler: a pickle that
+        # references any callable (the code-execution vector) is refused
+        # before it can run, so `checkpoint info` is safe on untrusted files.
+        class Evil:
+            def __reduce__(self):
+                return (os.getcwd, ())  # harmless stand-in for the payload
+
+        path = tmp_path / "evil.ckpt"
+        path.write_bytes(MAGIC + pickle.dumps(Evil()))
+        with pytest.raises(CheckpointError, match="primitive"):
+            read_checkpoint_info(path)
+
+    def test_header_missing_fields(self, tmp_path):
+        # valid magic/version/compression but gutted header: still a
+        # CheckpointError, never a bare KeyError
+        path = tmp_path / "gutted.ckpt"
+        header = {"file_version": FILE_VERSION, "compression": "none"}
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            pickle.dump(header, handle)
+        with pytest.raises(CheckpointError, match="missing"):
+            read_checkpoint_info(path)
+
+    def test_truncated_state(self, tmp_path):
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path, compression="none")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_corrupt_compressed_state(self, tmp_path):
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path, compression="zlib")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-20] + b"\x00" * 20)
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_engine_mismatch_is_engine_error_not_file_error(self, tmp_path):
+        # file is intact; the *engine* rejects the foreign provenance
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path)
+        other = FIVMEngine(
+            toy_covar_continuous_query(), order=toy_variable_order()
+        )
+        with pytest.raises(EngineError, match="Q_count"):
+            restore_checkpoint(other, path)
+
+
+class TestCheckpointSink:
+    def test_periodic_sink_rewrites_latest(self, tmp_path):
+        engine = fresh_engine()
+        path = tmp_path / "stream.ckpt"
+        events = [("R", ("a1", i), 1) for i in range(10)]
+        engine.apply_stream(
+            iter(events),
+            batch_size=3,
+            checkpoint_every=4,
+            on_checkpoint=checkpoint_sink(path, metadata={"job": "test"}),
+        )
+        info = read_checkpoint_info(path)
+        # latest wins: the second snapshot (8 events) is on disk
+        assert info.metadata == {"job": "test", "events_processed": 8}
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        restore_checkpoint(clone, path)
+        assert clone.stats.updates_applied == 8
+
+    def test_sink_with_sharded_engine(self, tmp_path):
+        engine = ShardedEngine(
+            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+        )
+        path = tmp_path / "sharded.ckpt"
+        with engine:
+            engine.initialize(toy_database())
+            events = [("R", ("a1", i), 1) for i in range(6)]
+            engine.apply_stream(
+                iter(events),
+                batch_size=2,
+                checkpoint_every=3,
+                on_checkpoint=checkpoint_sink(path),
+            )
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        restore_checkpoint(clone, path)  # cross-topology restore from disk
+        assert read_checkpoint_info(path).metadata["events_processed"] == 6

@@ -126,6 +126,68 @@ class TestBench:
         assert "all engines agree" in out
 
 
+class TestCheckpoint:
+    def test_save_info_load_roundtrip_across_shard_counts(self, capsys, tmp_path):
+        path = str(tmp_path / "retailer.ckpt")
+        code, out = run_cli(
+            capsys,
+            [
+                "checkpoint", "save", path,
+                "--updates", "400",
+                "--batch-size", "100",
+                "--shards", "2",
+                "--shard-backend", "serial",
+            ]
+            + SMALL,
+        )
+        assert code == 0
+        assert "saved checkpoint" in out and "fivm-sharded" in out
+
+        code, out = run_cli(capsys, ["checkpoint", "info", path])
+        assert code == 0
+        assert "Retailer" in out and "dataset: retailer" in out
+
+        # restore at a different shard count, resume, verify vs full replay
+        code, out = run_cli(
+            capsys,
+            [
+                "checkpoint", "load", path,
+                "--shards", "4",
+                "--shard-backend", "serial",
+                "--resume-updates", "200",
+                "--verify",
+            ],
+        )
+        assert code == 0
+        assert "restored" in out
+        assert "identical to uninterrupted ingestion ✓" in out
+
+    def test_save_periodic_and_unsharded_load(self, capsys, tmp_path):
+        path = str(tmp_path / "periodic.ckpt")
+        code, out = run_cli(
+            capsys,
+            [
+                "checkpoint", "save", path,
+                "--updates", "300",
+                "--batch-size", "50",
+                "--every", "100",
+            ]
+            + SMALL,
+        )
+        assert code == 0
+        code, out = run_cli(capsys, ["checkpoint", "load", path, "--verify"])
+        assert code == 0
+        assert "identical to uninterrupted ingestion ✓" in out
+
+    def test_load_rejects_non_checkpoint(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.ckpt"
+        bogus.write_bytes(b"not a checkpoint")
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            main(["checkpoint", "info", str(bogus)])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
