@@ -1,0 +1,384 @@
+"""Columnar delta pipeline: bulk-kernel maintenance and pipe transport.
+
+Measures what the columnar path buys over the per-tuple payload-object
+path, and asserts exact equivalence everywhere:
+
+1. **COVAR ingestion sweep** — a Retailer single-tuple stream with
+   numeric-COVAR payloads ingested through ``apply_stream`` at batch
+   sizes 1/10/100/1000, with the columnar maintenance ladder on and off.
+   In full mode the batch-1000 run must be >= 3x faster columnar
+   (warning on stderr otherwise; the CI smoke run never gates on
+   timing). This is the regime the per-tuple path pays a
+   ``NumericCofactor`` allocation per delta row per step.
+2. **Shard pipe transport** — serialized bytes and pickle CPU of the
+   dict wire form vs the columnar wire form over the same batches (what
+   the process backend sends per shard), plus a sharded process-backend
+   ingestion with the transport on and off.
+3. **Cross-engine equivalence** — naive, first-order, per-aggregate,
+   F-IVM (columnar on and off) and sharded serial+process (columnar
+   transport on and off) consume the same delete-heavy stream; all final
+   results must agree, including after a mid-stream checkpoint saved
+   from a columnar engine and restored into a per-tuple and a sharded
+   engine. This is asserted and is what CI gates on.
+
+``--json PATH`` writes the measurements as a JSON artifact for the
+perf-regression gate and the ``bench-smoke-results`` trajectory.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py --smoke
+    PYTHONPATH=src python benchmarks/bench_columnar.py  # full scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+import time
+
+from repro.data import UpdateBatcher
+from repro.datasets import (
+    RetailerConfig,
+    UpdateStream,
+    continuous_covar_features,
+    generate_retailer,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+)
+from repro.engine import (
+    FIVMEngine,
+    FirstOrderEngine,
+    NaiveEngine,
+    PerAggregateEngine,
+    ShardedEngine,
+)
+from repro.rings import CountSpec, CovarSpec
+
+CONFIG = RetailerConfig(
+    locations=32, dates=90, items=900, inventory_rows=40_000, seed=101
+)
+SMOKE_CONFIG = RetailerConfig(
+    locations=4, dates=6, items=20, inventory_rows=200, seed=101
+)
+
+BATCH_SIZES = (1, 10, 100, 1000)
+SPEEDUP_TARGET = 3.0
+
+
+def covar_query():
+    return retailer_query(
+        CovarSpec(continuous_covar_features(limit=3), backend="numeric")
+    )
+
+
+def make_events(database, config, total_updates, seed=7, insert_ratio=0.8):
+    stream = UpdateStream(
+        database,
+        retailer_row_factories(config, database),
+        targets=("Inventory",),
+        batch_size=max(1, total_updates // 10),
+        insert_ratio=insert_ratio,
+        seed=seed,
+    )
+    return list(stream.tuples(total_updates))
+
+
+def bench_covar_ingest(database, config, order, total_updates, records):
+    """COVAR batch-size sweep, columnar on vs off; batch-1000 speedup."""
+    events = make_events(database, config, total_updates)
+    print(
+        f"## fivm numeric-COVAR ingestion, {len(events)} updates "
+        "(retailer stream)"
+    )
+    print(
+        f"{'batch':>6} {'columnar':>9} {'seconds':>9} "
+        f"{'updates/s':>11} {'latency/upd':>12}"
+    )
+    seconds = {}
+    results = {}
+    for batch_size in BATCH_SIZES:
+        for columnar in (False, True):
+            engine = FIVMEngine(
+                covar_query(), order=order, use_columnar=columnar
+            )
+            engine.initialize(database)
+            started = time.perf_counter()
+            engine.apply_stream(iter(events), batch_size=batch_size)
+            elapsed = time.perf_counter() - started
+            seconds[batch_size, columnar] = elapsed
+            results[batch_size, columnar] = engine.result()
+            if columnar and batch_size >= 100:
+                assert engine.stats.columnar_batches > 0, (
+                    "columnar path not taken at batch size "
+                    f"{batch_size} (delta below COLUMNAR_MIN_DELTA?)"
+                )
+            latency_us = 1e6 * elapsed / len(events)
+            print(
+                f"{batch_size:>6} {'on' if columnar else 'off':>9} "
+                f"{elapsed:>9.3f} {len(events) / elapsed:>11.0f} "
+                f"{latency_us:>9.1f} µs"
+            )
+            records.append(
+                {
+                    "engine": "fivm-covar",
+                    "ingest": "stream",
+                    "batch_size": batch_size,
+                    "columnar": columnar,
+                    "updates": len(events),
+                    "seconds": round(elapsed, 6),
+                    "updates_per_s": round(len(events) / elapsed, 1),
+                    "latency_us": round(latency_us, 2),
+                }
+            )
+    reference = results[BATCH_SIZES[0], False]
+    for key, result in results.items():
+        assert result.close_to(reference, 1e-8), (
+            f"covar results diverged at {key} (columnar vs per-tuple)"
+        )
+    big = BATCH_SIZES[-1]
+    speedup = (
+        seconds[big, False] / seconds[big, True]
+        if seconds[big, True]
+        else float("inf")
+    )
+    print(f"batch-{big} columnar speedup: {speedup:.1f}x")
+    return speedup
+
+
+def bench_pipe_transport(database, config, order, total_updates, records):
+    """Wire cost of dict vs columnar delta forms + sharded ingestion."""
+    events = make_events(database, config, total_updates, seed=13)
+    schemas = {"Inventory": database.relation("Inventory").schema}
+    batcher = UpdateBatcher(schemas, batch_size=1000, flush_policy="manual")
+    batches = []
+    for name, row, multiplicity in events:
+        batcher.add(name, row, multiplicity)
+        if batcher.pending_updates >= 1000:
+            batches.extend(batcher.flush())
+    batches.extend(batcher.flush())
+    print(f"\n## shard pipe transport, {len(batches)} batches of ~1000 updates")
+    measures = {}
+    for label, encode in (
+        ("dict", lambda delta: delta.data),
+        ("columnar", lambda delta: delta.columnar().transport()),
+    ):
+        payloads = [encode(delta) for _name, delta in batches]
+        started = time.perf_counter()
+        blobs = [pickle.dumps(payload) for payload in payloads]
+        elapsed = time.perf_counter() - started
+        size = sum(len(blob) for blob in blobs)
+        measures[label] = (elapsed, size)
+        per_batch_us = 1e6 * elapsed / max(len(batches), 1)
+        print(
+            f"{label:>9}: {size:>9} bytes, {elapsed * 1e3:>7.2f} ms pickle "
+            f"({per_batch_us:.0f} µs/batch)"
+        )
+        records.append(
+            {
+                "engine": "pipe-serialize",
+                "ingest": "transport",
+                "columnar": label == "columnar",
+                "updates": len(events),
+                "seconds": round(elapsed, 6),
+                "bytes": size,
+                "latency_us": round(per_batch_us, 2),
+            }
+        )
+    dict_s, dict_bytes = measures["dict"]
+    col_s, col_bytes = measures["columnar"]
+    print(
+        f"columnar wire: {100 * (1 - col_bytes / dict_bytes):.0f}% fewer "
+        f"bytes, {dict_s / col_s:.1f}x faster serialize"
+    )
+    # The transport must not change results on the live process backend.
+    results = []
+    for transport in (True, False):
+        engine = ShardedEngine(
+            covar_query(),
+            order=order,
+            shards=2,
+            backend="process",
+            columnar_transport=transport,
+        )
+        try:
+            engine.initialize(database)
+            engine.apply_stream(iter(events), batch_size=1000)
+            results.append(engine.result())
+        finally:
+            engine.close()
+    assert results[0].close_to(results[1], 1e-8), (
+        "sharded results diverged across columnar transport on/off"
+    )
+    print("process-backend results identical with transport on and off ✓")
+
+
+def bench_equivalence(database, config, order, total_updates, batch_size, records):
+    """Every engine agrees on a delete-heavy stream, incl. checkpoints."""
+    # insert_ratio 0.45: deletes dominate once the stream warms up, so
+    # ±-cancellation and zero-pruning run constantly on every path.
+    events = make_events(
+        database, config, total_updates, seed=11, insert_ratio=0.45
+    )
+    count_query = retailer_query(CountSpec())
+    features = continuous_covar_features(limit=2)
+    engines = [
+        ("naive", lambda: NaiveEngine(count_query, order=order)),
+        ("first-order", lambda: FirstOrderEngine(count_query, order=order)),
+        ("fivm-columnar", lambda: FIVMEngine(count_query, order=order, use_columnar=True)),
+        ("fivm-pertuple", lambda: FIVMEngine(count_query, order=order, use_columnar=False)),
+        (
+            "per-aggregate",
+            lambda: PerAggregateEngine(
+                retailer_query(CovarSpec(features, backend="numeric")),
+                features,
+                order=order,
+            ),
+        ),
+        (
+            "sharded-serial",
+            lambda: ShardedEngine(
+                count_query, order=order, shards=2, backend="serial",
+                use_columnar=True,
+            ),
+        ),
+        (
+            "sharded-process",
+            lambda: ShardedEngine(
+                count_query, order=order, shards=2, backend="process",
+                columnar_transport=True, use_columnar=True,
+            ),
+        ),
+    ]
+    print(f"\n## cross-engine equivalence, {len(events)} updates (delete-heavy)")
+    results = {}
+    for label, factory in engines:
+        engine = factory()
+        try:
+            engine.initialize(database)
+            started = time.perf_counter()
+            engine.apply_stream(iter(events), batch_size=batch_size)
+            results[label] = engine.result()
+            elapsed = time.perf_counter() - started
+        finally:
+            if isinstance(engine, ShardedEngine):
+                engine.close()
+        print(
+            f"{label:>16}: {len(events) / elapsed:>9.0f} updates/s "
+            f"({len(results[label])} result keys)"
+        )
+        columnar = None
+        if label.startswith("fivm"):
+            columnar = label == "fivm-columnar"
+        records.append(
+            {
+                "engine": label,
+                "ingest": "stream",
+                "batch_size": batch_size,
+                "columnar": columnar,
+                "updates": len(events),
+                "seconds": round(elapsed, 6),
+                "updates_per_s": round(len(events) / elapsed, 1),
+                "latency_us": round(1e6 * elapsed / len(events), 2),
+            }
+        )
+    reference = results["naive"]
+    for label, result in results.items():
+        assert result.close_to(reference, 1e-6), (
+            f"{label}: final result diverged from naive"
+        )
+    print("all engines agree with columnar on and off ✓")
+
+    # Checkpoint round-trip: snapshot a columnar COVAR engine mid-stream,
+    # restore into a per-tuple engine and a differently-sharded engine,
+    # resume, and compare against uninterrupted columnar ingestion.
+    half = len(events) // 2
+    source = FIVMEngine(covar_query(), order=order, use_columnar=True)
+    source.initialize(database)
+    source.apply_stream(iter(events[:half]), batch_size=batch_size)
+    snapshot = pickle.loads(pickle.dumps(source.export_state()))
+    source.apply_stream(iter(events[half:]), batch_size=batch_size)
+    uninterrupted = source.result()
+    restored = [
+        ("fivm-pertuple", FIVMEngine(covar_query(), order=order, use_columnar=False)),
+        (
+            "sharded-process",
+            ShardedEngine(
+                covar_query(), order=order, shards=2, backend="process",
+                columnar_transport=True,
+            ),
+        ),
+    ]
+    for label, engine in restored:
+        try:
+            engine.import_state(pickle.loads(pickle.dumps(snapshot)))
+            engine.apply_stream(iter(events[half:]), batch_size=batch_size)
+            assert engine.result().close_to(uninterrupted, 1e-8), (
+                f"{label}: checkpoint round-trip diverged from "
+                "uninterrupted columnar ingestion"
+            )
+        finally:
+            if isinstance(engine, ShardedEngine):
+                engine.close()
+    print("columnar checkpoints restore into per-tuple and sharded engines ✓")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes, CI gate")
+    parser.add_argument("--updates", type=int, default=6000)
+    parser.add_argument("--transport-updates", type=int, default=4000)
+    parser.add_argument("--equivalence-updates", type=int, default=400)
+    parser.add_argument("--equivalence-batch", type=int, default=64)
+    parser.add_argument("--json", metavar="PATH", help="write measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.updates = min(args.updates, 400)
+        args.transport_updates = min(args.transport_updates, 400)
+        args.equivalence_updates = min(args.equivalence_updates, 160)
+
+    config = SMOKE_CONFIG if args.smoke else CONFIG
+    database = generate_retailer(config)
+    order = retailer_variable_order()
+    print(
+        f"# columnar-pipeline benchmark (retailer, "
+        f"{'smoke' if args.smoke else 'full'} mode)\n"
+    )
+    records = []
+    speedup = bench_covar_ingest(database, config, order, args.updates, records)
+    bench_pipe_transport(
+        database, config, order, args.transport_updates, records
+    )
+    bench_equivalence(
+        database,
+        config,
+        order,
+        args.equivalence_updates,
+        args.equivalence_batch,
+        records,
+    )
+    if not args.smoke and speedup < SPEEDUP_TARGET:
+        print(
+            f"\nWARNING: batch-1000 columnar speedup {speedup:.1f}x below "
+            f"the {SPEEDUP_TARGET:.0f}x target",
+            file=sys.stderr,
+        )
+    if args.json:
+        artifact = {
+            "benchmark": "columnar",
+            "mode": "smoke" if args.smoke else "full",
+            "dataset": "retailer",
+            "batch1000_columnar_speedup": round(speedup, 2),
+            "results": records,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"\nwrote {len(records)} measurements to {args.json}")
+    print("\ncolumnar and per-tuple paths agree ✓")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,50 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _columnar_sweep(db, order, query_of, factories, targets, args) -> None:
+    """Updates/s for the columnar path at batch 1/10/100/1000.
+
+    Same count ring / stream ingest as ``bench_delta_latency.py``'s
+    batch-size sweep, so the two stay comparable; ``use_columnar=True``
+    forces the columnar ladder even for the scalar count ring (which
+    ``"auto"`` would keep on its dict fast path).
+    """
+    stream = UpdateStream(
+        db,
+        factories,
+        targets=targets,
+        batch_size=max(args.batch_size, 1000),
+        insert_ratio=args.insert_ratio,
+        seed=args.seed,
+    )
+    total = max(args.batches * args.batch_size, 2000)
+    events = list(stream.tuples(total))
+    print(
+        f"\n# columnar batch-size sweep ({len(events)} updates, count ring, "
+        "stream ingest)"
+    )
+    print(f"{'batch':>6} {'columnar':>9} {'seconds':>9} {'updates/s':>11}")
+    results = []
+    for batch_size in (1, 10, 100, 1000):
+        for use_columnar in (True, False):
+            engine = FIVMEngine(
+                query_of(CountSpec()), order=order, use_columnar=use_columnar
+            )
+            engine.initialize(db)
+            started = time.perf_counter()
+            engine.apply_stream(iter(events), batch_size=batch_size)
+            seconds = time.perf_counter() - started
+            results.append(engine.result())
+            print(
+                f"{batch_size:>6} {'on' if use_columnar else 'off':>9} "
+                f"{seconds:>9.3f} {len(events) / seconds:>11.0f}"
+            )
+    assert all(result == results[0] for result in results[1:]), (
+        "columnar sweep results diverged"
+    )
+    print("columnar and per-tuple results agree across the sweep ✓")
+
+
 def cmd_bench(args) -> int:
     db, _schemas, order, query_of, factories, targets = _dataset(args)
     stream = UpdateStream(
@@ -223,10 +267,12 @@ def cmd_bench(args) -> int:
     else:
         updates = batches
     view_index = not args.no_view_index
+    use_columnar = False if args.no_columnar else "auto"
     print(
         f"# engine comparison on {args.dataset} "
         f"(count ring, ingest={args.ingest}, batch size {args.batch_size}, "
-        f"view-index={'on' if view_index else 'off'}"
+        f"view-index={'on' if view_index else 'off'}, "
+        f"columnar={'off' if args.no_columnar else 'auto'}"
         + (f", shards={args.shards}" if args.shards > 1 else "")
         + ")"
     )
@@ -235,7 +281,10 @@ def cmd_bench(args) -> int:
         (
             FIVMEngine.strategy,
             lambda: FIVMEngine(
-                query_of(CountSpec()), order=order, use_view_index=view_index
+                query_of(CountSpec()),
+                order=order,
+                use_view_index=view_index,
+                use_columnar=use_columnar,
             ),
         ),
         (
@@ -258,6 +307,8 @@ def cmd_bench(args) -> int:
                     shards=args.shards,
                     backend=args.shard_backend,
                     use_view_index=view_index,
+                    use_columnar=use_columnar,
+                    columnar_transport=not args.no_columnar,
                 ),
             ),
         )
@@ -291,6 +342,8 @@ def cmd_bench(args) -> int:
         )
     assert all(results[0] == other for other in results[1:]), "engines disagree"
     print("all engines agree on the final result ✓")
+    if args.columnar_sweep:
+        _columnar_sweep(db, order, query_of, factories, targets, args)
     return 0
 
 
@@ -526,6 +579,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-view-index",
         action="store_true",
         help="ablation: disable F-IVM's persistent view indexes (scan siblings)",
+    )
+    bench.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help=(
+            "ablation: disable the columnar maintenance path and the "
+            "sharded columnar pipe transport (per-tuple everywhere)"
+        ),
+    )
+    bench.add_argument(
+        "--columnar-sweep",
+        action="store_true",
+        help=(
+            "also report columnar vs per-tuple updates/s at batch sizes "
+            "1/10/100/1000 (comparable to bench_delta_latency.py)"
+        ),
     )
     bench.add_argument(
         "--shards",

@@ -1,6 +1,7 @@
 """Relations, schemas, databases, deltas and batching (the storage layer)."""
 
 from repro.data.batcher import UpdateBatcher, batch_events
+from repro.data.columnar import ColumnarDelta, bulk_liftable, lift_column
 from repro.data.database import Database
 from repro.data.delta import (
     delta_of,
@@ -16,6 +17,9 @@ from repro.data.schema import DatabaseSchema, RelationSchema
 from repro.data.sharding import ShardRouter, shard_hash
 
 __all__ = [
+    "ColumnarDelta",
+    "bulk_liftable",
+    "lift_column",
     "Database",
     "Relation",
     "RelationIndex",

@@ -151,7 +151,14 @@ class UpdateBatcher:
         return flushed or None
 
     def flush(self) -> Batch:
-        """Emit all pending deltas (first-touched relation order) and reset."""
+        """Emit all pending deltas (first-touched relation order) and reset.
+
+        Each emitted delta's columnar (struct-of-arrays) form is
+        available through :meth:`Relation.columnar`, built at most once
+        on first use — columnar consumers (the vectorized maintenance
+        path, the sharded pipe transport) share one build, and purely
+        per-tuple consumers never pay for it.
+        """
         batch: Batch = []
         for name in self._order:
             data = self._pending[name]

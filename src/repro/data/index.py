@@ -120,13 +120,24 @@ class IndexedRelation(Relation):
     changed key — never a rebuild. ``copy``/``empty_like`` intentionally
     return plain (unindexed) relations: indexes belong to the long-lived
     materialization, not to transient deltas derived from it.
+
+    Indexes materialize *lazily*: :meth:`register_index` only records
+    that an attribute tuple may be probed, and :meth:`ensure_index`
+    builds the hash map the first time a maintenance path actually
+    probes it. A view that is updated but never probed (e.g. a leaf view
+    whose sibling relation receives no updates) therefore pays no index
+    maintenance at all — only *built* indexes are folded into
+    :meth:`add_inplace`.
     """
 
-    __slots__ = ("indexes",)
+    __slots__ = ("indexes", "pending")
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
+        #: Built (live) indexes, maintained through every mutation.
         self.indexes: Dict[Tuple[str, ...], RelationIndex] = {}
+        #: Registered attribute tuples whose index is not built yet.
+        self.pending: set = set()
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "IndexedRelation":
@@ -137,6 +148,12 @@ class IndexedRelation(Relation):
 
     # ------------------------------------------------------------------
 
+    def register_index(self, attrs: Iterable[str]) -> None:
+        """Declare that ``attrs`` may be probed, without building yet."""
+        attrs = tuple(attrs)
+        if attrs not in self.indexes:
+            self.pending.add(attrs)
+
     def add_index(self, attrs: Iterable[str]) -> RelationIndex:
         """Create (or return the existing) index on ``attrs``, built now."""
         attrs = tuple(attrs)
@@ -144,7 +161,17 @@ class IndexedRelation(Relation):
         if index is None:
             index = RelationIndex(self.schema, attrs).build(self.data)
             self.indexes[attrs] = index
+            self.pending.discard(attrs)
         return index
+
+    def ensure_index(self, attrs: Iterable[str]) -> RelationIndex:
+        """The index on ``attrs``, materialized on first use.
+
+        This is the probe-side entry point: registered-but-unbuilt
+        indexes are built from the live entries here, and from then on
+        maintained incrementally by :meth:`add_inplace`.
+        """
+        return self.indexes.get(tuple(attrs)) or self.add_index(attrs)
 
     def index_on(self, attrs: Iterable[str]) -> RelationIndex:
         """The index on exactly ``attrs``; raises if it was never built."""
@@ -153,7 +180,8 @@ class IndexedRelation(Relation):
         except KeyError:
             raise DataError(
                 f"no index on {tuple(attrs)!r} for relation {self.name!r} "
-                f"(have {sorted(self.indexes)!r})"
+                f"(built {sorted(self.indexes)!r}, "
+                f"pending {sorted(self.pending)!r})"
             ) from None
 
     # ------------------------------------------------------------------
@@ -214,4 +242,50 @@ class IndexedRelation(Relation):
                     data[key] = total
                     for index in indexes:
                         index.set(key, total)
+        return self
+
+    def add_block_inplace(self, keys, block) -> "IndexedRelation":
+        """Columnar scatter with index maintenance in the same pass."""
+        indexes = tuple(self.indexes.values())
+        if not indexes:
+            super().add_block_inplace(keys, block)
+            return self
+        self._columnar = None
+        ring = self.ring
+        data = self.data
+        index_ops = tuple((index.hook_of, index.buckets) for index in indexes)
+        scalar = relation_module.SCALAR_FASTPATH and ring.is_scalar
+        add = ring.add
+        is_zero = ring.is_zero
+        for key, payload in zip(keys, ring.block_payloads(block)):
+            existing = data.get(key)
+            if existing is None:
+                if scalar:
+                    if not payload:
+                        continue
+                    total = payload
+                elif is_zero(payload):
+                    continue
+                else:
+                    total = payload
+            else:
+                total = existing + payload if scalar else add(existing, payload)
+                if (not total) if scalar else is_zero(total):
+                    del data[key]
+                    for hook_of, buckets in index_ops:
+                        hook = hook_of(key)
+                        bucket = buckets.get(hook)
+                        if bucket is not None:
+                            bucket.pop(key, None)
+                            if not bucket:
+                                del buckets[hook]
+                    continue
+            data[key] = total
+            for hook_of, buckets in index_ops:
+                hook = hook_of(key)
+                bucket = buckets.get(hook)
+                if bucket is None:
+                    buckets[hook] = {key: total}
+                else:
+                    bucket[key] = total
         return self

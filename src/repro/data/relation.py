@@ -35,6 +35,7 @@ from repro.rings.base import Ring
 from repro.rings.scalar import Z
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.columnar import ColumnarDelta
     from repro.data.index import RelationIndex
 
 __all__ = ["Relation", "SCALAR_FASTPATH"]
@@ -91,7 +92,7 @@ class Relation:
         Optional name (base relations carry their schema name).
     """
 
-    __slots__ = ("schema", "ring", "data", "name")
+    __slots__ = ("schema", "ring", "data", "name", "_columnar")
 
     def __init__(
         self,
@@ -105,6 +106,7 @@ class Relation:
         self.schema = tuple(schema)
         self.ring = ring
         self.name = name
+        self._columnar = None
         self.data: Dict[Key, Any] = {}
         if data:
             arity = len(self.schema)
@@ -137,6 +139,38 @@ class Relation:
             data[row] = data.get(row, 0) + 1
         return relation
 
+    @classmethod
+    def from_columns(
+        cls,
+        schema: Tuple[str, ...],
+        columns: Tuple[Iterable, ...],
+        counts: Iterable[int],
+        name: str = "",
+    ) -> "Relation":
+        """Build a Z-delta from key columns plus a multiplicity column.
+
+        The inverse of :meth:`columnar`: duplicate keys sum-merge and
+        zero multiplicities drop, and the columnar form stays attached so
+        a later :meth:`columnar` call is free.
+        """
+        from repro.data.columnar import ColumnarDelta  # cycle guard (cold path)
+
+        return ColumnarDelta(tuple(schema), counts, columns=tuple(columns), name=name).to_relation()
+
+    def columnar(self) -> "ColumnarDelta":
+        """Columnar (struct-of-arrays) form of this Z-delta, built once.
+
+        Cached until the relation is mutated through
+        :meth:`add_inplace`/:meth:`add_block_inplace`; callers that
+        assign ``data`` directly own the invalidation.
+        """
+        cached = self._columnar
+        if cached is None:
+            from repro.data.columnar import ColumnarDelta  # cycle guard
+
+            cached = self._columnar = ColumnarDelta.from_relation(self)
+        return cached
+
     def empty_like(self) -> "Relation":
         """Fresh empty relation with the same schema/ring."""
         return Relation(self.schema, self.ring, name=self.name)
@@ -145,6 +179,7 @@ class Relation:
         """Shallow copy (payloads are shared; use ring.copy before mutating)."""
         clone = Relation(self.schema, self.ring, name=self.name)
         clone.data = dict(self.data)
+        clone._columnar = self._columnar
         return clone
 
     # ------------------------------------------------------------------
@@ -213,6 +248,7 @@ class Relation:
         stays safe.
         """
         self._check_compatible(other)
+        self._columnar = None
         ring = self.ring
         data = self.data
         if SCALAR_FASTPATH and ring.is_scalar:
@@ -235,6 +271,42 @@ class Relation:
             else:
                 total = ring.add(existing, payload)
                 if ring.is_zero(total):
+                    del data[key]
+                else:
+                    data[key] = total
+        return self
+
+    def add_block_inplace(self, keys: Iterable[Key], block: Any) -> "Relation":
+        """Scatter a payload block into this relation, key by key.
+
+        The columnar counterpart of :meth:`add_inplace`: ``keys`` and the
+        ring block (see the bulk kernels in :mod:`repro.rings.base`) come
+        from the vectorized maintenance ladder; the same merge semantics
+        apply — payload addition, zero pruning, no parked ring zeros.
+        """
+        self._columnar = None
+        ring = self.ring
+        data = self.data
+        payloads = ring.block_payloads(block)
+        if SCALAR_FASTPATH and ring.is_scalar:
+            for key, payload in zip(keys, payloads):
+                existing = data.get(key)
+                total = payload if existing is None else existing + payload
+                if total:
+                    data[key] = total
+                elif existing is not None:
+                    del data[key]
+            return self
+        add = ring.add
+        is_zero = ring.is_zero
+        for key, payload in zip(keys, payloads):
+            existing = data.get(key)
+            if existing is None:
+                if not is_zero(payload):
+                    data[key] = payload
+            else:
+                total = add(existing, payload)
+                if is_zero(total):
                     del data[key]
                 else:
                     data[key] = total

@@ -24,6 +24,9 @@ import struct
 import zlib
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.data.columnar import ColumnarDelta
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.errors import DataError
@@ -157,6 +160,49 @@ class ShardRouter:
                 sub = parts[shard] = delta.empty_like()
             sub.data[key] = multiplicity
         return sorted(parts.items())
+
+    def split_columnar(
+        self, relation: str, delta: ColumnarDelta
+    ) -> List[Tuple[int, ColumnarDelta]]:
+        """Split a columnar delta into ``(shard, sub-delta)`` pairs.
+
+        The columnar counterpart of :meth:`split`, used by the process
+        backend's pipe transport: rows route with the same stable hash
+        (so deletes keep following inserts regardless of wire form), but
+        the per-shard slices stay columnar — no per-shard dict of key
+        tuples is ever built on the coordinator. Broadcast relations
+        return the same delta object for every shard.
+        """
+        positions = self._positions_of(relation)
+        if positions is None:
+            return [(shard, delta) for shard in range(self.shards)]
+        if self.shards == 1:
+            return [(0, delta)] if len(delta) else []
+        rows = delta.rows
+        members: Dict[int, List[int]] = {}
+        for i, row in enumerate(rows):
+            shard = shard_hash(tuple(row[j] for j in positions)) % self.shards
+            group = members.get(shard)
+            if group is None:
+                members[shard] = [i]
+            else:
+                group.append(i)
+        counts = delta.counts
+        parts: List[Tuple[int, ColumnarDelta]] = []
+        for shard, picks in sorted(members.items()):
+            idx = np.asarray(picks, dtype=np.intp)
+            parts.append(
+                (
+                    shard,
+                    ColumnarDelta(
+                        delta.schema,
+                        counts[idx],
+                        rows=[rows[i] for i in picks],
+                        name=delta.name,
+                    ),
+                )
+            )
+        return parts
 
     def partition_database(self, database: Database) -> List[Database]:
         """Per-shard databases: routed relations sliced, broadcast copied.

@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar, Dict, Iterable, Mapping, Optional, Tuple
 
+from repro.data.batcher import UpdateBatcher
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.errors import EngineError
@@ -59,6 +60,15 @@ class EngineStatistics:
     #: ratio noise and keeps the latency-critical single-tuple regime on
     #: the O(|delta|) path unconditionally).
     ADAPTIVE_SCAN_MIN_DELTA: ClassVar[int] = 512
+    #: Third access path: batches of at least this many delta keys run
+    #: the columnar (bulk-kernel) maintenance ladder when the payload
+    #: ring supports it. Below the threshold the per-tuple paths win —
+    #: the fixed numpy setup cost per kernel call is not amortized — so
+    #: the latency-critical single-tuple regime stays on the per-tuple
+    #: path unconditionally. Calibrated on retailer numeric-COVAR
+    #: ingestion (``bench_columnar.py``): the crossover sits at batch
+    #: ~4 (0.75x at batch 1, 1.3x at 4, 2.8x at 32, >4x at 1000).
+    COLUMNAR_MIN_DELTA: ClassVar[int] = 8
 
     updates_applied: int = 0
     batches_applied: int = 0
@@ -69,9 +79,16 @@ class EngineStatistics:
     index_probes: int = 0
     index_hits: int = 0
     #: Adaptive access-path decisions: sibling joins served by an index
-    #: probe vs. by a scan join (F-IVM with ``adaptive_probe``).
+    #: probe vs. by a scan join (F-IVM with ``adaptive_probe``), and
+    #: sibling joins served by the columnar bulk kernels. In columnar
+    #: steps ``index_probes`` counts one probe per *distinct* hook value
+    #: of the delta (rows are grouped before probing), so probe counts
+    #: are lower than the per-tuple paths' for the same data.
     probe_steps: int = 0
     scan_steps: int = 0
+    columnar_steps: int = 0
+    #: Batches that took the columnar maintenance ladder end to end.
+    columnar_batches: int = 0
     view_sizes: Dict[str, int] = field(default_factory=dict)
 
     #: Counter fields carried through engine snapshots (checkpointing).
@@ -84,6 +101,8 @@ class EngineStatistics:
         "index_hits",
         "probe_steps",
         "scan_steps",
+        "columnar_steps",
+        "columnar_batches",
     )
 
     def record_batch(self, delta: Relation) -> None:
@@ -203,8 +222,6 @@ class MaintenanceEngine(ABC):
         The callback is *not* invoked again for a final partial window;
         write a final checkpoint after the stream if you need one.
         """
-        from repro.data.batcher import UpdateBatcher
-
         if checkpoint_every < 0:
             raise EngineError("checkpoint_every must be >= 0")
         if checkpoint_every and on_checkpoint is None:

@@ -6,9 +6,10 @@ with one base relation replaced by a delta — correct because the join is
 linear in each of its relations).
 
 With ``index_specs`` (the probe plan's view-to-attribute-tuples map),
-views that maintenance paths later probe are wrapped and indexed *as they
-are materialized* — the data is still hot, and the engine needs no
-separate index-install pass afterwards.
+views that maintenance paths later probe are wrapped as
+:class:`~repro.data.index.IndexedRelation` with their probe keys
+*registered* — the hash maps themselves materialize lazily on first
+probe, so views no update stream ever probes cost nothing.
 """
 
 from __future__ import annotations
@@ -38,8 +39,8 @@ def evaluate_view(
     When ``materialized`` is provided, every evaluated view is recorded in
     it (used by F-IVM's initialization to materialize the whole tree).
     When ``index_specs`` names this view, the result is returned as an
-    :class:`~repro.data.index.IndexedRelation` carrying the listed
-    indexes, built immediately after materialization.
+    :class:`~repro.data.index.IndexedRelation` with the listed attribute
+    tuples registered for lazy materialization on first probe.
     """
     plan = tree.plan
     if view.is_leaf:
@@ -65,9 +66,13 @@ def evaluate_view(
     if index_specs is not None:
         specs = index_specs.get(view.name)
         if specs:
+            # Register lazily: the hash maps are only materialized once a
+            # maintenance path actually probes them (IndexedRelation.
+            # ensure_index), so views that are never probed pay neither
+            # the build nor per-update index maintenance.
             indexed = IndexedRelation.from_relation(result)
             for attrs in specs:
-                indexed.add_index(attrs)
+                indexed.register_index(attrs)
             result = indexed
     if materialized is not None:
         materialized[view.name] = result

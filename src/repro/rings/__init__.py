@@ -11,6 +11,7 @@ from repro.rings.cofactor import (
     GeneralCofactor,
     GeneralCofactorRing,
     NumericCofactor,
+    NumericCofactorBlock,
     NumericCofactorRing,
 )
 from repro.rings.lifting import (
@@ -48,6 +49,7 @@ __all__ = [
     "RelationValue",
     "CofactorLayout",
     "NumericCofactor",
+    "NumericCofactorBlock",
     "NumericCofactorRing",
     "GeneralCofactor",
     "GeneralCofactorRing",

@@ -20,7 +20,9 @@ insert-only maintenance.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import RingError
 
@@ -43,6 +45,13 @@ class Ring(ABC):
 
     #: Whether :meth:`neg` is supported (False for the bool/min-plus semirings).
     has_negation: bool = True
+
+    #: True when the ``*_many`` bulk kernels below operate on contiguous
+    #: array blocks instead of the generic per-element loop fallback. The
+    #: columnar maintenance path only engages for such rings; every other
+    #: ring keeps working through the loop fallbacks (used by the tests
+    #: and by callers that want one code path regardless of ring).
+    has_bulk_kernels: bool = False
 
     #: True when payloads are plain Python numbers whose ``+``/``*`` agree
     #: with :meth:`add`/:meth:`mul` and whose truthiness agrees with
@@ -150,6 +159,96 @@ class Ring(ABC):
         Rings with immutable payloads (ints, floats) return ``a`` itself.
         """
         return a
+
+    # ------------------------------------------------------------------
+    # Bulk kernels over payload *blocks*.
+    #
+    # A block holds n payloads in whatever layout the ring chooses: the
+    # generic fallbacks below use a plain Python list, scalar rings use a
+    # 1-d numpy array, and the numeric cofactor ring uses contiguous
+    # ``(c[n], s[n, m], q[n, m, m])`` column arrays. Blocks are opaque to
+    # callers — always go through these methods. All kernels are pure
+    # (fresh output blocks); :meth:`block_payloads` is the only bridge
+    # back to ordinary per-key payload values.
+    # ------------------------------------------------------------------
+
+    def make_block(self, payloads: Iterable[Any]) -> Any:
+        """Pack an iterable of payloads into a block."""
+        return list(payloads)
+
+    def zero_block(self, n: int) -> Any:
+        """Block of ``n`` additive identities."""
+        return [self.zero() for _ in range(n)]
+
+    def block_size(self, block: Any) -> int:
+        """Number of payloads in ``block``."""
+        return len(block)
+
+    def block_payloads(self, block: Any) -> Iterable[Any]:
+        """Iterate the block as ordinary payload values (scatter bridge)."""
+        return iter(block)
+
+    def take(self, block: Any, indices: Any) -> Any:
+        """Gather ``block[i]`` for each i in ``indices`` into a new block."""
+        return [block[i] for i in indices]
+
+    def add_many(self, a: Any, b: Any) -> Any:
+        """Element-wise :meth:`add` of two equal-length blocks."""
+        return [self.add(x, y) for x, y in zip(a, b)]
+
+    def mul_many(self, a: Any, b: Any) -> Any:
+        """Element-wise :meth:`mul` of two equal-length blocks."""
+        return [self.mul(x, y) for x, y in zip(a, b)]
+
+    def neg_many(self, a: Any) -> Any:
+        """Element-wise :meth:`neg` of a block."""
+        return [self.neg(x) for x in a]
+
+    def scale_many(self, block: Any, counts: Sequence[int]) -> Any:
+        """Element-wise :meth:`scale` by per-element integer counts."""
+        return [self.scale(x, int(n)) for x, n in zip(block, counts)]
+
+    def from_int_many(self, counts: Sequence[int]) -> Any:
+        """Block of :meth:`from_int` images of per-element counts."""
+        return [self.from_int(int(n)) for n in counts]
+
+    def lift_many(self, index: Any, *columns: Sequence[Any]) -> Any:
+        """Element-wise ``lift(index, columns[0][i], ...)`` as a block.
+
+        Only defined for rings exposing a ``lift`` attribute function
+        (the cofactor rings); others raise :class:`RingError`.
+        """
+        lift = getattr(self, "lift", None)
+        if lift is None:
+            raise RingError(f"ring {self.name!r} has no lift; lift_many undefined")
+        return self.make_block(lift(index, *values) for values in zip(*columns))
+
+    def is_zero_many(self, block: Any) -> np.ndarray:
+        """Boolean mask of elements equal to the additive identity."""
+        size = self.block_size(block)
+        return np.fromiter(
+            (self.is_zero(x) for x in self.block_payloads(block)),
+            dtype=bool,
+            count=size,
+        )
+
+    def sum_segments(self, block: Any, segment_ids: Any, count: int) -> Any:
+        """Group-sum: output element g is the sum of rows with id g.
+
+        ``segment_ids`` assigns each block element to one of ``count``
+        groups; groups with no member sum to :meth:`zero`. This is the
+        bulk form of the marginalization group-by.
+        """
+        totals = [None] * count
+        for payload, gid in zip(self.block_payloads(block), segment_ids):
+            existing = totals[gid]
+            if existing is None:
+                totals[gid] = self.copy(payload)
+            else:
+                totals[gid] = self.add_inplace(existing, payload)
+        return self.make_block(
+            self.zero() if total is None else total for total in totals
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

@@ -39,6 +39,7 @@ from repro.rings.base import Ring
 __all__ = [
     "CofactorLayout",
     "NumericCofactor",
+    "NumericCofactorBlock",
     "NumericCofactorRing",
     "GeneralCofactor",
     "GeneralCofactorRing",
@@ -105,12 +106,36 @@ class NumericCofactor:
         )
 
 
+class NumericCofactorBlock:
+    """Column block of n numeric cofactor payloads: ``c[n], s[n,m], q[n,m,m]``.
+
+    The bulk kernels below operate on these contiguous arrays, so one
+    numpy call covers a whole delta batch where the per-element path pays
+    an allocation and dispatch per tuple. Row ``i`` viewed through
+    :meth:`NumericCofactorRing.block_payloads` aliases the block arrays;
+    rows are disjoint, so mutating one scattered payload in place never
+    affects another.
+    """
+
+    __slots__ = ("c", "s", "q")
+
+    def __init__(self, c: np.ndarray, s: np.ndarray, q: np.ndarray):
+        self.c = c
+        self.s = s
+        self.q = q
+
+    def __len__(self) -> int:
+        return len(self.c)
+
+
 class NumericCofactorRing(Ring):
     """Degree-m matrix ring over floats, numpy-backed.
 
     ``m`` is the number of attributes in the compound aggregate; payloads
     carry ``1 + m + m*m`` scalar aggregates maintained together.
     """
+
+    has_bulk_kernels = True
 
     def __init__(self, layout: CofactorLayout):
         self.layout = layout
@@ -178,6 +203,107 @@ class NumericCofactorRing(Ring):
         q = np.zeros((m, m))
         q[index, index] = x * x
         return NumericCofactor(1.0, s, q)
+
+    # ------------------------------------------------------------------
+    # Bulk kernels (contiguous column blocks; see NumericCofactorBlock)
+    # ------------------------------------------------------------------
+
+    def make_block(self, payloads) -> NumericCofactorBlock:
+        payloads = list(payloads)
+        n, m = len(payloads), self.degree
+        c = np.empty(n)
+        s = np.empty((n, m))
+        q = np.empty((n, m, m))
+        for i, payload in enumerate(payloads):
+            c[i] = payload.c
+            s[i] = payload.s
+            q[i] = payload.q
+        return NumericCofactorBlock(c, s, q)
+
+    def zero_block(self, n: int) -> NumericCofactorBlock:
+        m = self.degree
+        return NumericCofactorBlock(np.zeros(n), np.zeros((n, m)), np.zeros((n, m, m)))
+
+    def block_size(self, block: NumericCofactorBlock) -> int:
+        return len(block.c)
+
+    def block_payloads(self, block: NumericCofactorBlock):
+        c, s, q = block.c, block.s, block.q
+        for i in range(len(c)):
+            yield NumericCofactor(float(c[i]), s[i], q[i])
+
+    def take(self, block: NumericCofactorBlock, indices) -> NumericCofactorBlock:
+        idx = np.asarray(indices, dtype=np.intp)
+        return NumericCofactorBlock(block.c[idx], block.s[idx], block.q[idx])
+
+    def add_many(
+        self, a: NumericCofactorBlock, b: NumericCofactorBlock
+    ) -> NumericCofactorBlock:
+        return NumericCofactorBlock(a.c + b.c, a.s + b.s, a.q + b.q)
+
+    def mul_many(
+        self, a: NumericCofactorBlock, b: NumericCofactorBlock
+    ) -> NumericCofactorBlock:
+        ac = a.c[:, None]
+        bc = b.c[:, None]
+        cross = a.s[:, :, None] * b.s[:, None, :]
+        return NumericCofactorBlock(
+            a.c * b.c,
+            bc * a.s + ac * b.s,
+            bc[:, :, None] * a.q + ac[:, :, None] * b.q
+            + cross
+            + cross.transpose(0, 2, 1),
+        )
+
+    def neg_many(self, a: NumericCofactorBlock) -> NumericCofactorBlock:
+        return NumericCofactorBlock(-a.c, -a.s, -a.q)
+
+    def scale_many(self, block: NumericCofactorBlock, counts) -> NumericCofactorBlock:
+        n = np.asarray(counts, dtype=np.float64)
+        return NumericCofactorBlock(
+            block.c * n, block.s * n[:, None], block.q * n[:, None, None]
+        )
+
+    def from_int_many(self, counts) -> NumericCofactorBlock:
+        c = np.asarray(counts, dtype=np.float64)
+        n, m = len(c), self.degree
+        return NumericCofactorBlock(c, np.zeros((n, m)), np.zeros((n, m, m)))
+
+    def lift_many(self, index: int, values) -> NumericCofactorBlock:
+        x = np.asarray(values, dtype=np.float64)
+        n, m = len(x), self.degree
+        s = np.zeros((n, m))
+        s[:, index] = x
+        q = np.zeros((n, m, m))
+        q[:, index, index] = x * x
+        return NumericCofactorBlock(np.ones(n), s, q)
+
+    def is_zero_many(self, block: NumericCofactorBlock) -> np.ndarray:
+        return (
+            (block.c == 0.0)
+            & (block.s == 0.0).all(axis=1)
+            & (block.q == 0.0).all(axis=(1, 2))
+        )
+
+    def sum_segments(
+        self, block: NumericCofactorBlock, segment_ids, count: int
+    ) -> NumericCofactorBlock:
+        m = self.degree
+        c = np.zeros(count)
+        s = np.zeros((count, m))
+        q = np.zeros((count, m, m))
+        ids = np.asarray(segment_ids, dtype=np.intp)
+        if len(ids):
+            order = np.argsort(ids, kind="stable")
+            sorted_ids = ids[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_ids[1:] != sorted_ids[:-1]]
+            )
+            present = sorted_ids[starts]
+            c[present] = np.add.reduceat(block.c[order], starts)
+            s[present] = np.add.reduceat(block.s[order], starts, axis=0)
+            q[present] = np.add.reduceat(block.q[order], starts, axis=0)
+        return NumericCofactorBlock(c, s, q)
 
 
 # ----------------------------------------------------------------------

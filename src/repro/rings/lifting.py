@@ -125,7 +125,16 @@ def numeric_cofactor_lift(ring: NumericCofactorRing, feature: Feature) -> LiftFu
             "ring with relational values"
         )
     index = ring.layout.index(feature.name)
-    return lambda value: ring.lift(index, float(value))
+
+    def lift(value):
+        return ring.lift(index, float(value))
+
+    # Bulk metadata: the columnar maintenance path recognizes these and
+    # vectorizes whole value columns through ``ring.lift_many`` instead of
+    # calling the closure per tuple (see repro.data.columnar.lift_column).
+    lift.bulk_slot = index
+    lift.bulk_transform = float
+    return lift
 
 
 def general_cofactor_lift(ring: GeneralCofactorRing, feature: Feature) -> LiftFunction:

@@ -101,6 +101,9 @@ class SumSpec(PayloadSpec):
         def lift(value) -> float:
             return float(value)
 
+        # The payload IS the lifted scalar, so the columnar path can run
+        # the transform column-wise (repro.data.columnar.lift_column).
+        lift.bulk_scalar = lift
         return PayloadPlan(ring=ring, lifts={self.attribute: lift})
 
     @property
@@ -132,11 +135,11 @@ class SumProductSpec(PayloadSpec):
         lifts: Dict[str, LiftFunction] = {}
         for attr, power in self.powers:
             if power == 1:
-                lifts[attr] = lambda value: float(value)
+                lift: LiftFunction = lambda value: float(value)  # noqa: E731
             else:
-                lifts[attr] = (
-                    lambda value, _power=power: float(value) ** _power
-                )
+                lift = lambda value, _power=power: float(value) ** _power  # noqa: E731
+            lift.bulk_scalar = lift
+            lifts[attr] = lift
         return PayloadPlan(ring=ring, lifts=lifts)
 
     @property

@@ -1,0 +1,294 @@
+"""The columnar maintenance path and the sharded columnar transport."""
+
+import pickle
+
+import pytest
+
+from repro.data import inserts
+from repro.data.delta import delta_of, deletes
+from repro.datasets import (
+    RetailerConfig,
+    UpdateStream,
+    continuous_covar_features,
+    generate_retailer,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+    toy_count_query,
+    toy_covar_categorical_query,
+    toy_database,
+    toy_variable_order,
+)
+from repro.engine import FIVMEngine, NaiveEngine, ShardedEngine
+from repro.engine.base import EngineStatistics
+from repro.engine.sharded import available_backends
+from repro.errors import EngineError
+from repro.rings import CountSpec, CovarSpec
+
+R_SCHEMA = ("A", "B")
+S_SCHEMA = ("A", "C", "D")
+
+
+def retailer_setup(seed=5, inventory_rows=250):
+    config = RetailerConfig(
+        locations=4, dates=6, items=20, inventory_rows=inventory_rows, seed=seed
+    )
+    database = generate_retailer(config)
+    stream = UpdateStream(
+        database,
+        retailer_row_factories(config, database),
+        targets=("Inventory",),
+        batch_size=50,
+        insert_ratio=0.55,  # delete-heavy once warmed up
+        seed=seed,
+    )
+    return database, stream
+
+
+def covar_query(limit=2):
+    return retailer_query(
+        CovarSpec(continuous_covar_features(limit=limit), backend="numeric")
+    )
+
+
+class TestColumnarPathSelection:
+    def test_auto_engages_for_cofactor_not_scalar_rings(self):
+        covar = FIVMEngine(covar_query(), order=retailer_variable_order())
+        assert covar._columnar_paths  # numeric cofactor: vectorizable
+        count = FIVMEngine(
+            retailer_query(CountSpec()), order=retailer_variable_order()
+        )
+        assert not count._columnar_paths  # scalar fast path preferred
+        forced = FIVMEngine(
+            retailer_query(CountSpec()),
+            order=retailer_variable_order(),
+            use_columnar=True,
+        )
+        assert forced._columnar_paths
+
+    def test_disabled_by_flag_and_by_no_view_index(self):
+        off = FIVMEngine(
+            covar_query(), order=retailer_variable_order(), use_columnar=False
+        )
+        assert not off._columnar_paths
+        no_index = FIVMEngine(
+            covar_query(), order=retailer_variable_order(), use_view_index=False
+        )
+        assert not no_index._columnar_paths
+
+    def test_general_ring_falls_back(self):
+        # The general cofactor ring has no bulk kernels: per-tuple path.
+        engine = FIVMEngine(
+            toy_covar_categorical_query(), order=toy_variable_order()
+        )
+        assert not engine._columnar_paths
+
+    def test_invalid_flag_rejected(self):
+        with pytest.raises(EngineError, match="use_columnar"):
+            FIVMEngine(covar_query(), use_columnar="yes")
+
+    def test_small_batches_stay_on_per_tuple_path(self):
+        engine = FIVMEngine(covar_query(), order=retailer_variable_order())
+        database, _stream = retailer_setup()
+        engine.initialize(database)
+        row = next(iter(database.relation("Inventory").data))
+        engine.apply("Inventory", inserts(engine.query.schema_of("Inventory").attributes, [row]))
+        assert engine.stats.columnar_batches == 0
+        assert engine.stats.batches_applied == 1
+
+
+class TestColumnarEquivalence:
+    @pytest.mark.parametrize("batch_size", (16, 100))
+    def test_covar_stream_matches_per_tuple_and_views_agree(self, batch_size):
+        database, stream = retailer_setup()
+        events = list(stream.tuples(500))
+        engines = []
+        for use_columnar in (True, False):
+            engine = FIVMEngine(
+                covar_query(),
+                order=retailer_variable_order(),
+                use_columnar=use_columnar,
+            )
+            engine.initialize(database)
+            engine.apply_stream(iter(events), batch_size=batch_size)
+            engines.append(engine)
+        columnar, per_tuple = engines
+        assert columnar.stats.columnar_batches > 0
+        assert columnar.stats.columnar_steps > 0
+        assert per_tuple.stats.columnar_batches == 0
+        assert columnar.result().close_to(per_tuple.result(), 1e-8)
+        for name, view in columnar.materialized.items():
+            assert view.close_to(per_tuple.materialized[name], 1e-8), name
+        assert columnar.stats.view_sizes == per_tuple.stats.view_sizes
+
+    def test_forced_columnar_count_ring_matches_oracle_exactly(self):
+        database, stream = retailer_setup(seed=8)
+        events = list(stream.tuples(400))
+        columnar = FIVMEngine(
+            retailer_query(CountSpec()),
+            order=retailer_variable_order(),
+            use_columnar=True,
+        )
+        oracle = NaiveEngine(
+            retailer_query(CountSpec()), order=retailer_variable_order()
+        )
+        for engine in (columnar, oracle):
+            engine.initialize(database)
+            engine.apply_stream(iter(events), batch_size=64)
+        assert columnar.stats.columnar_batches > 0
+        # Z payloads: bit-exact, not just close.
+        assert columnar.result() == oracle.result()
+
+    def test_cancelling_batch_returns_views_to_start(self):
+        engine = FIVMEngine(covar_query(), order=retailer_variable_order())
+        database, _stream = retailer_setup()
+        engine.initialize(database)
+        before = {
+            name: {key: engine.plan.ring.copy(p) for key, p in view.data.items()}
+            for name, view in engine.materialized.items()
+        }
+        schema = engine.query.schema_of("Inventory").attributes
+        rows = [(100 + i, 1, 1, float(i)) for i in range(EngineStatistics.COLUMNAR_MIN_DELTA)]
+        engine.apply("Inventory", inserts(schema, rows))
+        assert engine.stats.columnar_batches == 1
+        engine.apply("Inventory", deletes(schema, rows))
+        assert engine.stats.columnar_batches == 2
+        for name, data in before.items():
+            view = engine.materialized[name]
+            assert set(view.data) == set(data), name
+            for key, payload in data.items():
+                assert engine.plan.ring.close(view.data[key], payload, 1e-9)
+
+    def test_columnar_delta_annihilated_mid_join_stops_cleanly(self):
+        """A block emptied by a sibling probe must stop before marginalize."""
+        engine = FIVMEngine(covar_query(), order=retailer_variable_order())
+        database, _stream = retailer_setup()
+        engine.initialize(database)
+        schema = engine.query.schema_of("Inventory").attributes
+        # ksn=9999 exists in no sibling: the V_Item probe wipes the block.
+        rows = [(1, 1, 9999, float(i)) for i in range(20)]
+        before = engine.result().data
+        engine.apply("Inventory", inserts(schema, rows))
+        assert engine.stats.columnar_batches == 1
+        assert engine.result().data.keys() == before.keys()
+
+    def test_checkpoint_roundtrip_across_columnar_modes(self):
+        database, stream = retailer_setup(seed=12)
+        events = list(stream.tuples(300))
+        source = FIVMEngine(covar_query(), order=retailer_variable_order())
+        source.initialize(database)
+        source.apply_stream(iter(events[:150]), batch_size=50)
+        snapshot = pickle.loads(pickle.dumps(source.export_state()))
+        source.apply_stream(iter(events[150:]), batch_size=50)
+        for use_columnar in (True, False):
+            clone = FIVMEngine(
+                covar_query(),
+                order=retailer_variable_order(),
+                use_columnar=use_columnar,
+            )
+            clone.import_state(pickle.loads(pickle.dumps(snapshot)))
+            clone.apply_stream(iter(events[150:]), batch_size=50)
+            assert clone.result().close_to(source.result(), 1e-8)
+        assert source.stats.columnar_batches > 0
+
+    def test_columnar_counters_roundtrip_through_snapshot(self):
+        database, stream = retailer_setup()
+        events = list(stream.tuples(200))
+        engine = FIVMEngine(covar_query(), order=retailer_variable_order())
+        engine.initialize(database)
+        engine.apply_stream(iter(events), batch_size=100)
+        assert engine.stats.columnar_batches > 0
+        restored = FIVMEngine(covar_query(), order=retailer_variable_order())
+        restored.import_state(engine.export_state())
+        assert restored.stats.columnar_batches == engine.stats.columnar_batches
+        assert restored.stats.columnar_steps == engine.stats.columnar_steps
+
+
+class TestColumnarWithToyQueries:
+    """Hand-built deltas straddling COLUMNAR_MIN_DELTA on the toy query."""
+
+    def engines(self):
+        columnar = FIVMEngine(
+            toy_count_query(), order=toy_variable_order(), use_columnar=True
+        )
+        oracle = NaiveEngine(toy_count_query(), order=toy_variable_order())
+        for engine in (columnar, oracle):
+            engine.initialize(toy_database())
+        return columnar, oracle
+
+    def big_delta(self, n=None, sign=1):
+        n = n or EngineStatistics.COLUMNAR_MIN_DELTA + 4
+        delta = inserts(R_SCHEMA, [(f"a{i % 7}", i) for i in range(n)])
+        return delta if sign > 0 else delta.neg()
+
+    def test_mixed_sizes_and_deletes_match_oracle(self):
+        columnar, oracle = self.engines()
+        steps = [
+            ("R", self.big_delta()),
+            ("S", inserts(S_SCHEMA, [("a1", 1, 2), ("a2", 3, 3)])),
+            ("R", self.big_delta(sign=-1)),
+            ("R", delta_of(R_SCHEMA, inserted=[("a1", 500)])),
+        ]
+        for name, delta in steps:
+            columnar.apply(name, delta.copy())
+            oracle.apply(name, delta.copy())
+            assert columnar.result() == oracle.result()
+        assert columnar.stats.columnar_batches == 2  # only the big R deltas
+
+    def test_batch_with_internal_cancellation(self):
+        columnar, oracle = self.engines()
+        n = EngineStatistics.COLUMNAR_MIN_DELTA
+        delta = inserts(R_SCHEMA, [(f"a{i}", i) for i in range(n)])
+        delta.add_inplace(deletes(R_SCHEMA, [(f"a{i}", i) for i in range(0, n, 2)]))
+        columnar.apply("R", delta.copy())
+        oracle.apply("R", delta.copy())
+        assert columnar.result() == oracle.result()
+
+
+@pytest.mark.parametrize("backend", available_backends())
+class TestColumnarTransport:
+    def test_transport_on_off_and_shard_counts_agree(self, backend):
+        database, stream = retailer_setup(seed=21)
+        events = list(stream.tuples(400))
+        reference = None
+        for transport in (True, False):
+            for shards in (1, 3):
+                engine = ShardedEngine(
+                    covar_query(),
+                    order=retailer_variable_order(),
+                    shards=shards,
+                    backend=backend,
+                    columnar_transport=transport,
+                )
+                try:
+                    engine.initialize(database)
+                    engine.apply_stream(iter(events), batch_size=50)
+                    result = engine.result()
+                finally:
+                    engine.close()
+                if reference is None:
+                    reference = result
+                else:
+                    assert result.close_to(reference, 1e-8), (backend, transport, shards)
+
+    def test_count_ring_transport_exact(self, backend):
+        database, stream = retailer_setup(seed=23)
+        events = list(stream.tuples(300))
+        oracle = FIVMEngine(
+            retailer_query(CountSpec()), order=retailer_variable_order()
+        )
+        oracle.initialize(database)
+        oracle.apply_stream(iter(events), batch_size=64)
+        engine = ShardedEngine(
+            retailer_query(CountSpec()),
+            order=retailer_variable_order(),
+            shards=2,
+            backend=backend,
+            columnar_transport=True,
+        )
+        try:
+            engine.initialize(database)
+            engine.apply_stream(iter(events), batch_size=64)
+            assert engine.result() == oracle.result()
+        finally:
+            engine.close()
