@@ -43,7 +43,16 @@ from typing import Dict, List
 def config_key(benchmark: str, record: Dict) -> str:
     """Stable identity of one measured configuration."""
     parts = [benchmark, str(record.get("engine"))]
-    for field in ("ingest", "batch_size", "view_index", "columnar", "shards"):
+    for field in (
+        "ingest",
+        "batch_size",
+        "view_index",
+        "columnar",
+        "shards",
+        "endpoint",
+        "readers",
+        "stat",
+    ):
         if field in record and record[field] is not None:
             parts.append(f"{field}={record[field]}")
     return ":".join(parts)

@@ -91,6 +91,16 @@ from repro.ml import (
     select_features,
 )
 from repro.query import Query, VariableOrder, VONode, plan_variable_order
+from repro.serving import (
+    EngineSnapshot,
+    IngestThread,
+    ServerThread,
+    ServingApp,
+    ServingScenario,
+    SnapshotServer,
+    SnapshotStore,
+    build_serving_scenario,
+)
 from repro.rings import (
     Binning,
     BoolRing,
@@ -181,6 +191,15 @@ __all__ = [
     "PerAggregateEngine",
     "ShardedEngine",
     "evaluate_tree",
+    # serving
+    "EngineSnapshot",
+    "SnapshotStore",
+    "ServingApp",
+    "SnapshotServer",
+    "ServerThread",
+    "IngestThread",
+    "ServingScenario",
+    "build_serving_scenario",
     # ml
     "Column",
     "CovarMatrix",

@@ -8,7 +8,10 @@ its scriptable equivalent:
   of updates on a chosen dataset;
 - ``repro bench``   — a one-command engine comparison;
 - ``repro checkpoint`` — save/restore engine state mid-stream
-  (``save``/``load``/``info``), including across shard counts.
+  (``save``/``load``/``info``), including across shard counts;
+- ``repro serve``   — the demo's web serving loop: an HTTP endpoint
+  answering model reads from epoch snapshots while a writer thread
+  ingests a seeded update stream.
 
 Usage (installed entry point or module)::
 
@@ -18,6 +21,7 @@ Usage (installed entry point or module)::
     python -m repro bench --dataset retailer --batches 5
     python -m repro checkpoint save ckpt.fivm --updates 2000 --shards 4
     python -m repro checkpoint load ckpt.fivm --shards 2 --verify
+    python -m repro serve --dataset toy --payload covar --port 8321
 """
 
 from __future__ import annotations
@@ -63,6 +67,12 @@ from repro.datasets import (
 from repro.engine import FIVMEngine, FirstOrderEngine, NaiveEngine, ShardedEngine
 from repro.ml.discretize import binning_for_attribute
 from repro.rings import CountSpec, CovarSpec, Feature, MISpec
+from repro.serving import (
+    IngestThread,
+    ServerThread,
+    ServingApp,
+    build_serving_scenario,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -515,6 +525,70 @@ def cmd_checkpoint_load(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    scenario = build_serving_scenario(
+        args.dataset, args.payload, scale=args.scale, seed=args.seed
+    )
+    engine = scenario.engine(shards=args.shards, backend=args.shard_backend)
+    # Epoch 1 covers the initial database (event offset 0): readers get
+    # answers from the first request on, never a 503 warm-up window.
+    engine.publish(event_offset=0)
+    stream = scenario.stream(
+        batch_size=args.batch_size, insert_ratio=args.insert_ratio
+    )
+    ingest = IngestThread(
+        engine, stream.tuples(args.updates), batch_size=args.batch_size
+    )
+    metadata = scenario.provenance(args.batch_size, args.insert_ratio)
+    metadata["updates"] = args.updates
+    app = ServingApp(
+        engine,
+        regression_label=scenario.regression_label,
+        mi_label=scenario.mi_label,
+        position_source=lambda: ingest.consumed,
+        metadata=metadata,
+    )
+    server = ServerThread(app, host=args.host, port=args.port)
+    try:
+        server.start()
+        print(
+            f"# serving {args.dataset} ({args.payload} payload"
+            + (f", {args.shards} shards" if args.shards > 1 else "")
+            + f") on {server.url}",
+            flush=True,
+        )
+        print(
+            "endpoints: /covar /predict /model /topk /result /healthz /stats",
+            flush=True,
+        )
+        ingest.start()
+        ingest.join()
+        if ingest.error is not None:
+            print(f"ingest failed: {ingest.error}", file=sys.stderr)
+            return 1
+        snapshot = engine.latest_snapshot()
+        print(
+            f"ingest done: {ingest.consumed} updates in {ingest.seconds:.2f}s "
+            f"({ingest.throughput:.0f} updates/s), epoch {snapshot.epoch} "
+            "published",
+            flush=True,
+        )
+        if args.linger < 0:
+            print("serving until interrupted (Ctrl-C) ...", flush=True)
+            while True:
+                time.sleep(3600)
+        elif args.linger:
+            time.sleep(args.linger)
+    except KeyboardInterrupt:
+        print("\ninterrupted; shutting down", flush=True)
+    finally:
+        server.stop()
+        if isinstance(engine, ShardedEngine):
+            engine.close()
+    print(f"served {app.reads} reads ({app.errors} errors)")
+    return 0
+
+
 def cmd_checkpoint_info(args) -> int:
     info = read_checkpoint_info(args.path)
     created = datetime.datetime.fromtimestamp(info.created_at)
@@ -677,6 +751,40 @@ def build_parser() -> argparse.ArgumentParser:
     info_ckpt = ckpt_sub.add_parser("info", help="print a checkpoint's header")
     info_ckpt.add_argument("path", help="checkpoint file to inspect")
     info_ckpt.set_defaults(func=cmd_checkpoint_info)
+
+    serve = sub.add_parser(
+        "serve", help="serve model reads over HTTP while ingesting updates"
+    )
+    serve.add_argument(
+        "--dataset", choices=("toy", "retailer", "favorita"), default="toy"
+    )
+    serve.add_argument("--scale", type=int, default=1, help="size multiplier")
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--payload", choices=("count", "covar", "mi"), default="covar")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="listening port (0: ephemeral)"
+    )
+    serve.add_argument(
+        "--updates", type=int, default=5000, help="stream events to ingest"
+    )
+    serve.add_argument("--batch-size", type=int, default=200)
+    serve.add_argument("--insert-ratio", type=float, default=0.7)
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument(
+        "--shard-backend", choices=("auto", "serial", "process"), default="auto"
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=-1.0,
+        metavar="SECONDS",
+        help=(
+            "keep serving this long after ingest completes "
+            "(negative: until Ctrl-C)"
+        ),
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -28,6 +28,7 @@ from repro.datasets.toy import (
     toy_database,
     toy_mi_query,
     toy_query,
+    toy_row_factories,
     toy_variable_order,
 )
 from repro.datasets.updates import UpdateStream
@@ -35,6 +36,7 @@ from repro.datasets.updates import UpdateStream
 __all__ = [
     "toy_database",
     "toy_query",
+    "toy_row_factories",
     "toy_variable_order",
     "toy_count_query",
     "toy_covar_continuous_query",

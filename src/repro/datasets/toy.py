@@ -24,6 +24,7 @@ from repro.rings.specs import CountSpec, CovarSpec, MISpec, PayloadSpec
 __all__ = [
     "toy_database",
     "toy_query",
+    "toy_row_factories",
     "toy_variable_order",
     "toy_count_query",
     "toy_covar_continuous_query",
@@ -49,6 +50,28 @@ def toy_database() -> Database:
 def toy_query(spec: PayloadSpec, name: str = "Q") -> Query:
     """The Figure 1 query with an arbitrary payload spec."""
     return Query(name, (R_SCHEMA, S_SCHEMA), spec=spec)
+
+
+def toy_row_factories():
+    """Insert factories for an :class:`~repro.datasets.updates.UpdateStream`
+    over the toy schema.
+
+    Join keys stay in a small domain (``a1``..``a4``) so inserts keep
+    joining across R and S; B/C/D values stay small integers, matching
+    the figure's ``b_i = c_i = d_i = i`` convention.
+    """
+
+    def r_row(rng):
+        return (f"a{int(rng.integers(1, 5))}", int(rng.integers(1, 9)))
+
+    def s_row(rng):
+        return (
+            f"a{int(rng.integers(1, 5))}",
+            int(rng.integers(1, 9)),
+            int(rng.integers(1, 9)),
+        )
+
+    return {"R": r_row, "S": s_row}
 
 
 def toy_variable_order() -> VariableOrder:

@@ -26,6 +26,7 @@ from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.errors import EngineError
 from repro.query.query import Query
+from repro.serving.snapshot import EngineSnapshot, SnapshotStore
 
 __all__ = ["EngineStatistics", "MaintenanceEngine"]
 
@@ -147,6 +148,7 @@ class MaintenanceEngine(ABC):
         self.query = query
         self.stats = EngineStatistics()
         self._initialized = False
+        self._snapshots = SnapshotStore()
 
     # ------------------------------------------------------------------
 
@@ -165,6 +167,45 @@ class MaintenanceEngine(ABC):
     @abstractmethod
     def result(self) -> Relation:
         """The maintained query result (treat as read-only)."""
+
+    # ------------------------------------------------------------------
+    # Serving: epoch snapshots
+    # ------------------------------------------------------------------
+
+    def publish(self, event_offset: Optional[int] = None) -> EngineSnapshot:
+        """Publish an immutable snapshot of the current result.
+
+        The snapshot's ``result`` is the root view behind a fresh key
+        dict with payload objects shared (zero-copy): maintenance never
+        mutates a stored payload in place, so later :meth:`apply` calls
+        cannot alter a published snapshot. The swap into the engine's
+        snapshot store is a single attribute assignment — readers calling
+        :meth:`latest_snapshot` concurrently (from other threads) observe
+        either the previous epoch or this one, never a torn state.
+
+        ``event_offset`` is the stream position the snapshot covers;
+        callers that track consumed events (``apply_stream``, the serving
+        ingest loop) pass it explicitly, everyone else gets the engine's
+        ``updates_applied`` counter as the best available proxy.
+
+        One writer: publish from the maintenance thread only.
+        """
+        self._require_initialized()
+        result = self.result().copy()
+        if event_offset is None:
+            event_offset = self.stats.updates_applied
+        return self._snapshots.publish(
+            result,
+            query=self.query.name,
+            strategy=self.strategy,
+            event_offset=event_offset,
+            stats=self.stats.snapshot(),
+        )
+
+    def latest_snapshot(self) -> Optional[EngineSnapshot]:
+        """The most recently published snapshot (``None`` before the
+        first :meth:`publish`); safe to call from reader threads."""
+        return self._snapshots.latest
 
     # ------------------------------------------------------------------
 
@@ -204,6 +245,7 @@ class MaintenanceEngine(ABC):
         batch_size: int = 1000,
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["MaintenanceEngine", int], None]] = None,
+        publish_batches: bool = False,
     ) -> None:
         """Consume a stream of single-tuple updates in coalesced batches.
 
@@ -221,6 +263,13 @@ class MaintenanceEngine(ABC):
         :func:`repro.checkpoint.checkpoint_sink` to persist to disk).
         The callback is *not* invoked again for a final partial window;
         write a final checkpoint after the stream if you need one.
+
+        With ``publish_batches=True`` every flushed batch ends in a
+        :meth:`publish` carrying the exact consumed-event count, so
+        concurrent readers via :meth:`latest_snapshot` are never more
+        than one batch behind the stream, and at every ``checkpoint_every``
+        boundary the published snapshot covers exactly the checkpointed
+        position (staleness zero at checkpoints).
         """
         if checkpoint_every < 0:
             raise EngineError("checkpoint_every must be >= 0")
@@ -233,19 +282,27 @@ class MaintenanceEngine(ABC):
             name: self.query.schema_of(name).attributes
             for name in self.query.relation_names
         }
-        batcher = UpdateBatcher(
-            schemas, batch_size=batch_size, on_flush=self.apply_many
-        )
         count = 0
+
+        def deliver(batch) -> None:
+            self.apply_many(batch)
+            if publish_batches:
+                self.publish(event_offset=count)
+
+        batcher = UpdateBatcher(schemas, batch_size=batch_size, on_flush=deliver)
         for relation_name, row, multiplicity in events:
-            batcher.add(relation_name, row, multiplicity)
+            # Counted *before* the add so a size-triggered flush publishes
+            # the offset including the event that triggered it.
             count += 1
+            batcher.add(relation_name, row, multiplicity)
             if checkpoint_every and count % checkpoint_every == 0:
                 # flush() returns without delivering to on_flush; apply the
                 # remainder so the snapshot covers every consumed event.
                 pending = batcher.flush()
                 if pending:
                     self.apply_many(pending)
+                if publish_batches:
+                    self.publish(event_offset=count)
                 on_checkpoint(self, count)
         batcher.close()
 
@@ -272,6 +329,9 @@ class MaintenanceEngine(ABC):
         }
         state.update(self._export_payload())
         state["stats"] = self.stats.snapshot()
+        serving = self._snapshots.export_metadata()
+        if serving is not None:
+            state["serving"] = serving
         return state
 
     def import_state(self, state: Mapping[str, Any]) -> None:
@@ -283,6 +343,14 @@ class MaintenanceEngine(ABC):
         snapshot's ``format_version``/``payload`` kind must match what
         this build reads. Maintenance counters are restored from the
         snapshot's ``stats`` (reset to zero when absent).
+
+        Published serving snapshots survive the round trip: when the
+        state carries a ``serving`` header (the exporter had published),
+        the restored engine immediately republishes its latest epoch from
+        the restored materializations — same epoch id, event offset and
+        publish timestamp — so :meth:`latest_snapshot` serves reads right
+        after restore and the next :meth:`publish` continues the epoch
+        sequence.
         """
         self._validate_state(state)
         self._import_payload(state)
@@ -290,6 +358,18 @@ class MaintenanceEngine(ABC):
         self.stats.restore(state.get("stats") or {})
         self._initialized = True
         self._after_restore()
+        self._snapshots = SnapshotStore()
+        serving = state.get("serving")
+        if serving:
+            self._snapshots.publish(
+                self.result().copy(),
+                query=self.query.name,
+                strategy=self.strategy,
+                event_offset=int(serving["event_offset"]),
+                stats=self.stats.snapshot(),
+                epoch=int(serving["epoch"]),
+                published_at=float(serving["published_at"]),
+            )
 
     def _validate_state(self, state: Mapping[str, Any]) -> None:
         if not isinstance(state, Mapping):

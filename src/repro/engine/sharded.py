@@ -540,6 +540,32 @@ class ShardedEngine(MaintenanceEngine):
         return merged
 
     # ------------------------------------------------------------------
+    # Serving: merge-on-publish
+    # ------------------------------------------------------------------
+
+    def publish(self, event_offset: Optional[int] = None):
+        """Publish the ring-additive merge of the per-shard root views.
+
+        Merge-on-publish: the gather in :meth:`result` is the
+        synchronization barrier that waits for all in-flight
+        fire-and-forget applies, so the published snapshot covers every
+        delta routed before this call — the same consistency the
+        unsharded engine gets for free.
+
+        Failure paths carry the PR-4 hardening into serving: a closed
+        engine raises the descriptive closed error, and a worker that
+        died or failed mid-merge surfaces as an :class:`EngineError`
+        naming the shard, wrapped with publish context instead of a bare
+        pipe error — no torn snapshot is ever swapped in (the store only
+        updates after a successful merge).
+        """
+        self._require_initialized()
+        try:
+            return super().publish(event_offset=event_offset)
+        except EngineError as exc:
+            raise EngineError(f"publish failed: {exc}") from None
+
+    # ------------------------------------------------------------------
 
     def shard_stats(self) -> List[Dict[str, int]]:
         """Per-shard maintenance counter snapshots, in shard order."""
@@ -629,8 +655,15 @@ class ShardedEngine(MaintenanceEngine):
         the unsharded engine's, the same argument behind :meth:`result`.
         Views over broadcast relations only are replicated identically on
         every shard, so one copy is taken instead of a sum.
+
+        Worker failures during the gather surface with export context
+        (same hardening as :meth:`publish`): the pipes are drained and
+        realigned by the backend, and the error names the failed shard.
         """
-        states = self._backend.export_states()
+        try:
+            states = self._backend.export_states()
+        except EngineError as exc:
+            raise EngineError(f"export_state failed: {exc}") from None
         ring = self.tree.plan.ring
         view_relations = self._view_relations()
         broadcast = set(self.router.broadcast)

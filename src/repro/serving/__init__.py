@@ -1,0 +1,48 @@
+"""Serving tier: epoch-snapshot reads under concurrent ingestion.
+
+Everything below :mod:`repro.engine` optimizes the *write* path — this
+package adds the read path that turns the engine into a system: engines
+publish immutable root-view versions at batch boundaries
+(:mod:`repro.serving.snapshot`), and an asyncio HTTP front end
+(:mod:`repro.serving.server`) serves model outputs — COVAR matrices,
+regression predictions, top-k feature rankings — to many concurrent
+readers with bounded staleness while a single writer keeps ingesting.
+
+The server and scenario modules import the engine layer, and the engine
+layer imports :mod:`repro.serving.snapshot` (every engine owns a
+snapshot store) — so those two are loaded lazily on first attribute
+access to keep the package import acyclic.
+"""
+
+from importlib import import_module
+
+from repro.serving.snapshot import EngineSnapshot, SnapshotStore
+
+__all__ = [
+    "EngineSnapshot",
+    "SnapshotStore",
+    "ServingApp",
+    "SnapshotServer",
+    "ServerThread",
+    "IngestThread",
+    "ServingScenario",
+    "build_serving_scenario",
+]
+
+_LAZY = {
+    "ServingApp": "repro.serving.server",
+    "SnapshotServer": "repro.serving.server",
+    "ServerThread": "repro.serving.server",
+    "IngestThread": "repro.serving.server",
+    "ServingScenario": "repro.serving.scenario",
+    "build_serving_scenario": "repro.serving.scenario",
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(target), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value

@@ -1,0 +1,143 @@
+"""Epoch-based snapshots: the many-readers/one-writer read path.
+
+F-IVM's materialized root view is the entire queryable state, so serving
+reads under continuous ingestion reduces to *versioning* that one view:
+at every batch boundary the writer publishes an immutable
+:class:`EngineSnapshot` — the root view's entries behind a fresh dict,
+payload objects shared with the live view (zero-copy: maintenance never
+mutates a stored payload in place, it replaces entries through the ring's
+pure ``add``) — and swaps it into a :class:`SnapshotStore` with a single
+attribute assignment, which is atomic under the interpreter lock.
+Readers grab :attr:`SnapshotStore.latest` with no locks, no copies and no
+coordination with the writer; they observe a fully published epoch or the
+previous one, never a torn intermediate state.
+
+Staleness is bounded and *observable*: every snapshot carries its epoch
+id, the event offset it covers (how many stream events were applied when
+it was published) and its publish timestamp, so a reader — or an SLO
+monitor — can compute exactly how far behind the live stream its view of
+the data is. With publish-per-batch ingestion the lag never exceeds one
+batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.data.relation import Relation
+from repro.errors import EngineError
+
+__all__ = ["EngineSnapshot", "SnapshotStore"]
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """One immutable published version of a maintained query result.
+
+    ``result`` owns its key dict but shares payload objects with the
+    engine's live view — safe because maintenance replaces payloads
+    instead of mutating them. Treat it (and everything reachable from it)
+    as read-only.
+    """
+
+    #: Monotonically increasing publication id (1 = first publish).
+    epoch: int
+    #: Stream events applied when this snapshot was published. The writer
+    #: passes the exact consumed-event count when it has one (e.g.
+    #: ``apply_stream``); the fallback is the engine's ``updates_applied``
+    #: counter, which coalescing may undercount (cancelled pairs vanish).
+    event_offset: int
+    #: ``time.time()`` at publication.
+    published_at: float
+    #: Provenance: the query name and engine strategy that produced this.
+    query: str
+    strategy: str
+    #: The published root view (immutable; payloads shared, keys owned).
+    result: Relation
+    #: Maintenance-counter snapshot at publication time.
+    stats: Mapping[str, int] = field(default_factory=dict)
+
+    def age(self, now: Optional[float] = None) -> float:
+        """Seconds since publication."""
+        return (time.time() if now is None else now) - self.published_at
+
+    def staleness(self, position: int) -> int:
+        """Events the snapshot is behind a live stream at ``position``."""
+        return max(0, int(position) - self.event_offset)
+
+    def describe(self) -> str:
+        return (
+            f"epoch {self.epoch} of {self.query!r} ({self.strategy}): "
+            f"{len(self.result)} result entries at event offset "
+            f"{self.event_offset}"
+        )
+
+
+class SnapshotStore:
+    """Atomic holder of the latest published snapshot (one writer).
+
+    The store assumes a single publishing writer; any number of readers
+    may call :attr:`latest` concurrently. The swap is one attribute
+    assignment, so a reader sees either the previous snapshot or the new
+    one — never a partially constructed object.
+    """
+
+    __slots__ = ("_latest",)
+
+    def __init__(self) -> None:
+        self._latest: Optional[EngineSnapshot] = None
+
+    @property
+    def latest(self) -> Optional[EngineSnapshot]:
+        """The most recently published snapshot (``None`` before the first)."""
+        return self._latest
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the latest snapshot (0 before the first publish)."""
+        latest = self._latest
+        return 0 if latest is None else latest.epoch
+
+    def publish(
+        self,
+        result: Relation,
+        *,
+        query: str,
+        strategy: str,
+        event_offset: int,
+        stats: Optional[Mapping[str, int]] = None,
+        epoch: Optional[int] = None,
+        published_at: Optional[float] = None,
+    ) -> EngineSnapshot:
+        """Build the next snapshot and swap it in atomically.
+
+        ``epoch``/``published_at`` default to "next epoch, now"; checkpoint
+        restore passes the recorded values so a republished snapshot keeps
+        the provenance of the one that was exported.
+        """
+        if event_offset < 0:
+            raise EngineError("snapshot event_offset must be >= 0")
+        snapshot = EngineSnapshot(
+            epoch=self.epoch + 1 if epoch is None else int(epoch),
+            event_offset=int(event_offset),
+            published_at=time.time() if published_at is None else float(published_at),
+            query=query,
+            strategy=strategy,
+            result=result,
+            stats=dict(stats or {}),
+        )
+        self._latest = snapshot  # the atomic pointer swap
+        return snapshot
+
+    def export_metadata(self) -> Optional[Dict[str, Any]]:
+        """Serving header carried through engine checkpoints (or ``None``)."""
+        latest = self._latest
+        if latest is None:
+            return None
+        return {
+            "epoch": latest.epoch,
+            "event_offset": latest.event_offset,
+            "published_at": latest.published_at,
+        }
