@@ -48,6 +48,7 @@ def config_key(benchmark: str, record: Dict) -> str:
         "batch_size",
         "view_index",
         "columnar",
+        "fused",
         "shards",
         "endpoint",
         "readers",

@@ -278,11 +278,13 @@ def cmd_bench(args) -> int:
         updates = batches
     view_index = not args.no_view_index
     use_columnar = False if args.no_columnar else "auto"
+    use_fused = not args.no_fused
     print(
         f"# engine comparison on {args.dataset} "
         f"(count ring, ingest={args.ingest}, batch size {args.batch_size}, "
         f"view-index={'on' if view_index else 'off'}, "
-        f"columnar={'off' if args.no_columnar else 'auto'}"
+        f"columnar={'off' if args.no_columnar else 'auto'}, "
+        f"fused={'on' if use_fused else 'off'}"
         + (f", shards={args.shards}" if args.shards > 1 else "")
         + ")"
     )
@@ -295,6 +297,8 @@ def cmd_bench(args) -> int:
                 order=order,
                 use_view_index=view_index,
                 use_columnar=use_columnar,
+                use_fused=use_fused,
+                profile_stages=args.profile,
             ),
         ),
         (
@@ -318,11 +322,13 @@ def cmd_bench(args) -> int:
                     backend=args.shard_backend,
                     use_view_index=view_index,
                     use_columnar=use_columnar,
+                    use_fused=use_fused,
                     columnar_transport=not args.no_columnar,
                 ),
             ),
         )
     results = []
+    profiled = None
     for label, factory in contenders:
         engine = factory()
         try:
@@ -343,6 +349,8 @@ def cmd_bench(args) -> int:
             # the in-process engines).
             results.append(engine.result())
             seconds = time.perf_counter() - started
+            if args.profile and isinstance(engine, FIVMEngine):
+                profiled = engine.stats
         finally:
             if isinstance(engine, ShardedEngine):
                 engine.close()
@@ -352,6 +360,24 @@ def cmd_bench(args) -> int:
         )
     assert all(results[0] == other for other in results[1:]), "engines disagree"
     print("all engines agree on the final result ✓")
+    if profiled is not None:
+        stages = profiled.stage_seconds
+        print("\n# fivm per-stage time (fused ladder)")
+        if stages:
+            total = sum(stages.values())
+            for stage in ("lift", "probe", "multiply", "group", "scatter"):
+                if stage in stages:
+                    spent = stages[stage]
+                    print(
+                        f"{stage:>10} {spent:>9.4f}s {100 * spent / total:>5.1f}%"
+                    )
+            print(
+                f"  (fused batches: {profiled.fused_batches}, "
+                f"mirror hits/builds: "
+                f"{profiled.mirror_hits}/{profiled.mirror_builds})"
+            )
+        else:
+            print("  no fused batches ran (per-tuple path or fusion off)")
     if args.columnar_sweep:
         _columnar_sweep(db, order, query_of, factories, targets, args)
     return 0
@@ -660,6 +686,22 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "ablation: disable the columnar maintenance path and the "
             "sharded columnar pipe transport (per-tuple everywhere)"
+        ),
+    )
+    bench.add_argument(
+        "--no-fused",
+        action="store_true",
+        help=(
+            "ablation: run the interpreted columnar ladder instead of the "
+            "fused per-path kernels"
+        ),
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-stage wall time (lift/probe/multiply/group/scatter) "
+            "for the fivm engine's fused ladder"
         ),
     )
     bench.add_argument(

@@ -29,9 +29,42 @@ import numpy as np
 from repro.errors import DataError
 from repro.rings.base import Ring
 
-__all__ = ["ColumnarDelta", "lift_column", "bulk_liftable"]
+__all__ = ["ColumnarDelta", "column_array", "lift_column", "bulk_liftable"]
 
 Key = Tuple
+
+
+def column_array(values) -> np.ndarray:
+    """One key column as a 1-d ndarray safe for gather and key round-trips.
+
+    Numeric and boolean columns come back as typed arrays (so grouping
+    can run through ``np.unique``); string columns stay string-typed
+    only when every element really is a ``str`` — numpy would otherwise
+    silently stringify mixed values. Everything else (mixed types,
+    nested tuples, arbitrary objects) falls back to an object array,
+    which preserves the original Python objects exactly, so keys built
+    back from the column compare and hash like the originals.
+    """
+    if not isinstance(values, list):
+        values = list(values)
+    try:
+        arr = np.asarray(values)
+    except (ValueError, TypeError):
+        arr = None
+    if arr is not None and arr.ndim == 1:
+        kind = arr.dtype.kind
+        if kind in "iufb":
+            return arr
+        if kind in "US" and all(type(v) is str for v in values):
+            return arr
+    out = np.empty(len(values), dtype=object)
+    try:
+        out[:] = values
+    except ValueError:
+        # Sequence-valued elements confuse the bulk assignment.
+        for i, value in enumerate(values):
+            out[i] = value
+    return out
 
 
 class ColumnarDelta:

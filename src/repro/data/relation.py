@@ -30,12 +30,14 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
+from repro.data.columnar import ColumnarDelta
 from repro.errors import DataError, SchemaError
 from repro.rings.base import Ring
 from repro.rings.scalar import Z
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.data.columnar import ColumnarDelta
     from repro.data.index import RelationIndex
 
 __all__ = ["Relation", "SCALAR_FASTPATH"]
@@ -153,8 +155,6 @@ class Relation:
         zero multiplicities drop, and the columnar form stays attached so
         a later :meth:`columnar` call is free.
         """
-        from repro.data.columnar import ColumnarDelta  # cycle guard (cold path)
-
         return ColumnarDelta(tuple(schema), counts, columns=tuple(columns), name=name).to_relation()
 
     def columnar(self) -> "ColumnarDelta":
@@ -166,8 +166,6 @@ class Relation:
         """
         cached = self._columnar
         if cached is None:
-            from repro.data.columnar import ColumnarDelta  # cycle guard
-
             cached = self._columnar = ColumnarDelta.from_relation(self)
         return cached
 
@@ -283,13 +281,14 @@ class Relation:
         ring block (see the bulk kernels in :mod:`repro.rings.base`) come
         from the vectorized maintenance ladder; the same merge semantics
         apply — payload addition, zero pruning, no parked ring zeros.
+        Compound rings with bulk kernels take the two-phase vectorized
+        merge of :meth:`_merge_block` instead of the per-key loop.
         """
         self._columnar = None
         ring = self.ring
         data = self.data
-        payloads = ring.block_payloads(block)
         if SCALAR_FASTPATH and ring.is_scalar:
-            for key, payload in zip(keys, payloads):
+            for key, payload in zip(keys, ring.block_payloads(block)):
                 existing = data.get(key)
                 total = payload if existing is None else existing + payload
                 if total:
@@ -297,9 +296,17 @@ class Relation:
                 elif existing is not None:
                     del data[key]
             return self
+        if ring.has_bulk_kernels:
+            if not isinstance(keys, list):
+                keys = list(keys)
+            # The two-phase merge resolves every key once, so a block
+            # carrying the same key twice (legal here: occurrences merge
+            # sequentially) must take the per-key loop instead.
+            if len(set(keys)) == len(keys):
+                return self._merge_block(keys, block, _EMPTY)
         add = ring.add
         is_zero = ring.is_zero
-        for key, payload in zip(keys, payloads):
+        for key, payload in zip(keys, ring.block_payloads(block)):
             existing = data.get(key)
             if existing is None:
                 if not is_zero(payload):
@@ -310,6 +317,102 @@ class Relation:
                     del data[key]
                 else:
                     data[key] = total
+        return self
+
+    def _merge_block(self, keys, block, index_ops) -> "Relation":
+        """Two-phase vectorized scatter for rings with bulk kernels.
+
+        Semantics are identical to the per-key loop of
+        :meth:`add_block_inplace` — payload addition, zero pruning, no
+        parked ring zeros, and the same final dict/index orders — but the
+        per-row ``ring.add``/``ring.is_zero`` dispatch (the dominant
+        scatter cost for compound payloads) collapses into three block
+        kernel calls: gather the existing payloads of the *hit* keys,
+        ``add_many`` the matching delta rows, ``is_zero_many`` the sums.
+        Miss keys are zero-filtered up front and inserted afterwards;
+        hits never create dict entries and batch keys are unique, so
+        hits-then-misses lands the exact insertion order of the
+        interleaved loop. ``index_ops`` carries the ``(hook_of,
+        buckets)`` pairs of any live indexes to maintain in the same
+        pass (empty for plain relations).
+        """
+        ring = self.ring
+        data = self.data
+        data_get = data.get
+        if not isinstance(keys, list):
+            keys = list(keys)
+        existing = [data_get(key) for key in keys]
+        hit_idx = [i for i, payload in enumerate(existing) if payload is not None]
+        if hit_idx:
+            if len(hit_idx) == len(keys):
+                hit_keys = keys
+                merged = ring.add_many(ring.make_block(existing), block)
+            else:
+                hit_keys = [keys[i] for i in hit_idx]
+                merged = ring.add_many(
+                    ring.make_block([existing[i] for i in hit_idx]),
+                    ring.take(block, np.asarray(hit_idx, dtype=np.intp)),
+                )
+            dead = ring.is_zero_many(merged)
+            if not index_ops and not dead.any():
+                # dict.update drives the whole phase from C; updating
+                # existing keys never moves them, so order is preserved.
+                data.update(zip(hit_keys, ring.block_payloads(merged)))
+            else:
+                dead_list = dead.tolist()
+                for j, payload in enumerate(ring.block_payloads(merged)):
+                    key = hit_keys[j]
+                    if dead_list[j]:
+                        del data[key]
+                        for hook_of, buckets in index_ops:
+                            hook = hook_of(key)
+                            bucket = buckets.get(hook)
+                            if bucket is not None:
+                                bucket.pop(key, None)
+                                if not bucket:
+                                    del buckets[hook]
+                    else:
+                        data[key] = payload
+                        for hook_of, buckets in index_ops:
+                            hook = hook_of(key)
+                            bucket = buckets.get(hook)
+                            if bucket is None:
+                                buckets[hook] = {key: payload}
+                            else:
+                                bucket[key] = payload
+        if len(hit_idx) != len(keys):
+            if hit_idx:
+                miss_idx = [
+                    i for i, payload in enumerate(existing) if payload is None
+                ]
+                miss_keys = [keys[i] for i in miss_idx]
+                miss_block = ring.take(block, np.asarray(miss_idx, dtype=np.intp))
+            else:
+                miss_keys = keys
+                miss_block = block
+            zero = ring.is_zero_many(miss_block)
+            if zero.any():
+                live = np.flatnonzero(~zero)
+                miss_keys = [miss_keys[i] for i in live.tolist()]
+                miss_block = ring.take(miss_block, live)
+            if miss_keys:
+                if not index_ops:
+                    # Batch keys are unique and hits never create
+                    # entries, so appending every miss afterwards lands
+                    # the interleaved loop's insertion order.
+                    data.update(zip(miss_keys, ring.block_payloads(miss_block)))
+                else:
+                    for key, payload in zip(
+                        miss_keys, ring.block_payloads(miss_block)
+                    ):
+                        data[key] = payload
+                        for hook_of, buckets in index_ops:
+                            hook = hook_of(key)
+                            bucket = buckets.get(hook)
+                            if bucket is None:
+                                buckets[hook] = {key: payload}
+                            else:
+                                bucket[key] = payload
         return self
 
     def neg(self) -> "Relation":

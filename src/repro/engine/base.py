@@ -90,7 +90,26 @@ class EngineStatistics:
     columnar_steps: int = 0
     #: Batches that took the columnar maintenance ladder end to end.
     columnar_batches: int = 0
+    #: Batches/sibling joins served by the *fused* per-path kernels (the
+    #: compiled columnar ladder of :mod:`repro.engine.compile`). Fused
+    #: batches also count as columnar batches — fusion is an
+    #: implementation of the columnar access path, not a fourth one.
+    fused_batches: int = 0
+    fused_steps: int = 0
+    #: Columnar sibling-mirror lifecycle: probes served from a live
+    #: mirror, mirrors (re)built, and live mirrors dropped because their
+    #: view was mutated. ``mirror_invalidations`` close to
+    #: ``mirror_builds`` means the cache is thrashing (a view that is
+    #: both probed and updated every batch).
+    mirror_hits: int = 0
+    mirror_builds: int = 0
+    mirror_invalidations: int = 0
     view_sizes: Dict[str, int] = field(default_factory=dict)
+    #: Per-stage wall-clock seconds of the fused kernels (lift / probe /
+    #: multiply / group / scatter), accumulated only when the engine was
+    #: built with ``profile_stages=True`` (``repro bench --profile``).
+    #: Not checkpoint-carried: timings describe one process's run.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     #: Counter fields carried through engine snapshots (checkpointing).
     COUNTER_FIELDS = (
@@ -104,12 +123,20 @@ class EngineStatistics:
         "scan_steps",
         "columnar_steps",
         "columnar_batches",
+        "fused_batches",
+        "fused_steps",
+        "mirror_hits",
+        "mirror_builds",
+        "mirror_invalidations",
     )
 
     def record_batch(self, delta: Relation) -> None:
         self.batches_applied += 1
         self.updates_applied += sum(abs(m) for m in delta.data.values())
         self.tuples_applied += len(delta.data)
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
     def snapshot(self) -> Dict[str, int]:
         out = {name: getattr(self, name) for name in self.COUNTER_FIELDS}

@@ -1,0 +1,751 @@
+"""Fused per-path kernels: the compiled form of the columnar ladder.
+
+The interpreted columnar ladder (``FIVMEngine._apply_columnar``) already
+runs bulk ring kernels, but it still pays three per-row Python loops per
+batch: the tuple-dict group-by of ``_group_block``, the per-match gather
+loop of ``_join_probe_block`` and the per-key merge of
+``add_block_inplace``. This module lowers each relation path's static
+ladder into a :class:`FusedPath` — one compiled kernel per (relation,
+path) that keeps the running delta as key *column arrays* plus one
+payload block and chains lift -> probe-gather -> multiply -> group-sum
+with numpy expression fusion:
+
+- **int-keyed grouping** — key columns are integer-encoded per column
+  (``np.unique`` for typed columns, one dict pass for object columns),
+  combined into a single code word, and grouped with one ``np.unique``
+  call whose result is remapped to *first-seen* order — the order the
+  interpreted dict pass assigns, so every downstream float sum
+  associates identically;
+- **columnar sibling cache** — probes gather from the
+  :class:`~repro.data.index.ColumnarMirror` each view index keeps (keys
+  + payload block + bucket slot ranges + hook value columns, invalidated
+  on every index mutation and rebuilt lazily here): probe hooks are
+  matched against buckets numerically via per-column ``searchsorted``,
+  match pairs are expanded by integer index arithmetic and payloads
+  fetched with ``ring.take`` instead of ``make_block``'s per-match loop;
+- **ordering discipline** — hooks are visited in first-seen order,
+  bucket entries outer, delta rows inner, and within-group sums run over
+  ascending original row order, exactly like the interpreted ladder, so
+  fused results are *bit-equal*, not merely close.
+
+``REPRO_JIT=1`` additionally routes the pair-expansion kernel through
+numba when importable. The numpy expression remains the always-available
+fallback and both produce identical integer index arrays, so the flag
+can never change results — it is purely a speed knob, and it degrades
+silently to numpy when numba is absent.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.columnar import bulk_liftable, column_array, lift_column
+from repro.data.relation import _positions
+
+__all__ = [
+    "FusedPath",
+    "compile_fused_path",
+    "jit_kernels",
+    "live_mirrors",
+    "MIRROR_MAX_ENTRIES",
+]
+
+#: Views larger than this never get a columnar mirror: building one is a
+#: full pass over every live entry, which a huge frequently-written
+#: sibling would repay after every invalidation. Probes of such views
+#: fall back to gathering just the matched buckets (still vectorized).
+MIRROR_MAX_ENTRIES = 65_536
+
+#: Combined group codes stay below this bound; larger key spaces fall
+#: back to the tuple-dict grouping pass (same first-seen semantics).
+_CODE_LIMIT = 1 << 62
+
+
+# ----------------------------------------------------------------------
+# Optional JIT backend (REPRO_JIT)
+# ----------------------------------------------------------------------
+
+_JIT_CACHE: Dict[str, Optional[Dict[str, Callable]]] = {}
+
+
+def jit_kernels() -> Optional[Dict[str, Callable]]:
+    """The numba-compiled kernel table, or ``None`` when unavailable.
+
+    Gated by the ``REPRO_JIT`` environment variable (off by default) and
+    resolved lazily: the first enabled call tries ``import numba`` and
+    caches the outcome, so an environment without numba pays one failed
+    import ever and runs the numpy expressions instead. The jitted
+    kernels compute the same integer index arrays as the numpy fallback,
+    so enabling the flag can never change engine results.
+    """
+    flag = os.environ.get("REPRO_JIT", "").strip().lower()
+    if flag in ("", "0", "false", "off", "no"):
+        return None
+    if "kernels" in _JIT_CACHE:
+        return _JIT_CACHE["kernels"]
+    try:
+        import numba
+    except ImportError:
+        kernels = None
+    else:
+
+        @numba.njit(cache=False)
+        def expand_pairs(  # pragma: no cover - exercised only with numba
+            members, member_start, member_count, entry_start, entry_count, total
+        ):
+            left = np.empty(total, dtype=np.intp)
+            right = np.empty(total, dtype=np.intp)
+            out = 0
+            for g in range(member_start.shape[0]):
+                m0 = member_start[g]
+                mc = member_count[g]
+                e0 = entry_start[g]
+                for e in range(entry_count[g]):
+                    slot = e0 + e
+                    for j in range(mc):
+                        left[out] = members[m0 + j]
+                        right[out] = slot
+                        out += 1
+            return left, right
+
+        kernels = {"expand_pairs": expand_pairs}
+    _JIT_CACHE["kernels"] = kernels
+    return kernels
+
+
+def _expand_pairs(members, member_start, member_count, entry_start, entry_count):
+    """Expand (group -> members, group -> entry slots) into match pairs.
+
+    Emission order mirrors the interpreted probe loop exactly: groups in
+    the given (first-seen) order, bucket entries outer, delta members
+    inner in ascending original row order. Returns ``(left_rows,
+    right_slots)`` — indexes into the running delta and into the sibling
+    source block respectively.
+    """
+    pairs = member_count * entry_count
+    total = int(pairs.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    if total == len(pairs):
+        # Every surviving group matched exactly one (member, entry) pair —
+        # the dominant shape when delta keys are distinct and the sibling
+        # is keyed on the hook. Gather directly.
+        return members[member_start], entry_start
+    jit = jit_kernels()
+    if jit is not None:
+        return jit["expand_pairs"](
+            members, member_start, member_count, entry_start, entry_count, total
+        )
+    gidx = np.repeat(np.arange(len(pairs), dtype=np.intp), pairs)
+    first = np.concatenate(([0], np.cumsum(pairs)[:-1]))
+    pos = np.arange(total, dtype=np.intp) - first[gidx]
+    mc = member_count[gidx]
+    left = members[member_start[gidx] + pos % mc]
+    right = entry_start[gidx] + pos // mc
+    return left, right
+
+
+# ----------------------------------------------------------------------
+# Int-keyed grouping
+# ----------------------------------------------------------------------
+
+
+class _Scratch:
+    """Grow-only reusable buffers for the per-batch grouping codes.
+
+    One per compiled path: fused batches run strictly sequentially per
+    engine, and neither buffer outlives the grouping call that fills it,
+    so reuse is safe and removes the last per-call allocations the
+    profiler showed on the grouping hot loop.
+    """
+
+    __slots__ = ("_column_codes", "_combined")
+
+    def __init__(self):
+        self._column_codes = np.empty(0, dtype=np.intp)
+        self._combined = np.empty(0, dtype=np.intp)
+
+    def column_codes(self, n: int) -> np.ndarray:
+        buf = self._column_codes
+        if len(buf) < n:
+            buf = self._column_codes = np.empty(max(n, 64), dtype=np.intp)
+        return buf[:n]
+
+    def combined(self, n: int) -> np.ndarray:
+        buf = self._combined
+        if len(buf) < n:
+            buf = self._combined = np.empty(max(n, 64), dtype=np.intp)
+        return buf[:n]
+
+
+def _encode_column(arr: np.ndarray, scratch: Optional[_Scratch]):
+    """``(codes, cardinality)`` for one key column (code ids arbitrary)."""
+    if arr.dtype.kind == "O":
+        index: Dict[Any, int] = {}
+        n = len(arr)
+        codes = scratch.column_codes(n) if scratch is not None else np.empty(n, dtype=np.intp)
+        setdefault = index.setdefault
+        for i, value in enumerate(arr.tolist()):
+            codes[i] = setdefault(value, len(index))
+        return codes, len(index)
+    uniques, inverse = np.unique(arr, return_inverse=True)
+    return inverse, len(uniques)
+
+
+def _combined_codes(cols, n: int, scratch: _Scratch) -> Optional[np.ndarray]:
+    """One integer code word per row, or ``None`` on code-space overflow."""
+    combined = None
+    card = 1
+    for arr in cols:
+        codes, k = _encode_column(arr, scratch)
+        if k and card > _CODE_LIMIT // k:
+            return None
+        card *= max(k, 1)
+        if combined is None:
+            if len(cols) == 1:
+                return codes
+            combined = scratch.combined(n)
+            np.copyto(combined, codes)
+        else:
+            combined *= k
+            combined += codes
+    return combined
+
+
+def _group_rows_dict(cols, n: int):
+    """Tuple-dict grouping fallback (key spaces too wide to int-encode)."""
+    index: Dict[Tuple, int] = {}
+    gids = np.empty(n, dtype=np.intp)
+    reps: List[int] = []
+    setdefault = index.setdefault
+    for i, row in enumerate(zip(*(col.tolist() for col in cols))):
+        gid = setdefault(row, len(reps))
+        if gid == len(reps):
+            reps.append(i)
+        gids[i] = gid
+    return gids, np.asarray(reps, dtype=np.intp)
+
+
+def _group_rows(cols, n: int, scratch: _Scratch):
+    """First-seen grouping of ``n`` rows by the given key columns.
+
+    Returns ``(gids, reps)``: per-row group ids numbered in first-seen
+    order — the numbering the interpreted dict pass assigns, which fixes
+    the summation order of every float accumulation downstream — and the
+    first row index of each group. With no key columns every row lands
+    in the single empty group.
+    """
+    if not cols:
+        return (
+            np.zeros(n, dtype=np.intp),
+            np.zeros(1 if n else 0, dtype=np.intp),
+        )
+    codes = _combined_codes(cols, n, scratch)
+    if codes is None:
+        return _group_rows_dict(cols, n)
+    uniques, first, inverse = np.unique(codes, return_index=True, return_inverse=True)
+    k = len(uniques)
+    if k == n:
+        identity = np.arange(n, dtype=np.intp)
+        return identity, identity
+    order = np.argsort(first, kind="stable")
+    remap = np.empty(k, dtype=np.intp)
+    remap[order] = np.arange(k, dtype=np.intp)
+    return remap[inverse], first[order]
+
+
+def _keys_of(cols, n: int) -> List[Tuple]:
+    """Materialize key tuples from key columns (always tuples, like
+    ``_key_getter``)."""
+    if not cols:
+        return [()] * n
+    if len(cols) == 1:
+        return [(value,) for value in cols[0].tolist()]
+    return list(zip(*(col.tolist() for col in cols)))
+
+
+# ----------------------------------------------------------------------
+# Lifting
+# ----------------------------------------------------------------------
+
+
+def _lift_block(ring, fn, arr: np.ndarray):
+    """Bulk-lift one attribute column (as an ndarray) into a payload block.
+
+    Numeric columns whose lift transform is ``float`` (or absent) feed
+    ``ring.lift_many`` the array directly — ``np.asarray(..., float64)``
+    inside the kernel produces bit-identical values to the per-element
+    ``float(v)`` loop. Everything else round-trips through the original
+    Python objects via ``tolist``.
+    """
+    slot = getattr(fn, "bulk_slot", None)
+    if slot is not None:
+        transform = getattr(fn, "bulk_transform", None)
+        if transform in (None, float) and arr.dtype.kind in "iufb":
+            return ring.lift_many(slot, arr)
+    return lift_column(ring, fn, arr.tolist())
+
+
+_EMPTY_IDX = np.empty(0, dtype=np.intp)
+
+
+class _MirrorMatch:
+    """Cached hook-matching structure for one columnar mirror.
+
+    ``col_uniques[p]`` holds the sorted distinct values of the mirror's
+    ``p``-th hook column and ``m_sorted``/``m_order`` the buckets'
+    combined per-column codes in sorted order plus the permutation back
+    to bucket positions — enough to resolve a batch of probe hooks with
+    one ``searchsorted`` per column. Each column's code base is
+    ``len(uniques) + 1``, reserving one sentinel digit for probe values
+    absent from the mirror (those can never equal a bucket code).
+    ``hook_index`` is the hook→bucket-position dict fallback, built
+    lazily when the columns resist integer encoding (overflow, exotic
+    dtypes) or a probe batch brings incomparable values.
+    """
+
+    __slots__ = ("col_uniques", "m_sorted", "m_order", "hook_index")
+
+    def __init__(self, col_uniques, m_sorted, m_order):
+        self.col_uniques = col_uniques
+        self.m_sorted = m_sorted
+        self.m_order = m_order
+        self.hook_index: Optional[Dict[Any, int]] = None
+
+
+def _mirror_match(mirror) -> _MirrorMatch:
+    match = mirror.match
+    if match is None:
+        cols = mirror.hook_cols
+        col_uniques: Optional[List[np.ndarray]] = []
+        comb = None
+        card = 1
+        for col in cols:
+            if col.dtype.kind not in "iufbUS":
+                col_uniques = None
+                break
+            uniques = np.unique(col)
+            base = len(uniques) + 1
+            if card > _CODE_LIMIT // base:
+                col_uniques = None
+                break
+            card *= base
+            col_uniques.append(uniques)
+            codes = np.searchsorted(uniques, col)
+            comb = codes if comb is None else comb * base + codes
+        if col_uniques is None:
+            match = _MirrorMatch(None, None, None)
+        else:
+            order = np.argsort(comb)
+            match = _MirrorMatch(col_uniques, comb[order], order)
+        mirror.match = match
+    return match
+
+
+def _hook_index_of(mirror, match: _MirrorMatch) -> Dict[Any, int]:
+    hook_index = match.hook_index
+    if hook_index is None:
+        cols = mirror.hook_cols
+        if len(cols) == 1:
+            hooks: Iterable = cols[0].tolist()
+        else:
+            hooks = zip(*(col.tolist() for col in cols))
+        hook_index = match.hook_index = {
+            hook: b for b, hook in enumerate(hooks)
+        }
+    return hook_index
+
+
+def _kinds_comparable(a: str, b: str) -> bool:
+    return (a in "iufb" and b in "iufb") or (a == "U" and b == "U")
+
+
+def _match_reps(hook_cols, reps, mirror):
+    """Match per-group representative hooks against mirror buckets.
+
+    Returns ``(keep, bucket_idx)``: positions of the groups whose hook
+    owns a bucket (ascending, preserving first-seen group order) and the
+    matching bucket position for each. The encoded path runs one
+    ``searchsorted`` per column over the ``k`` representatives; batches
+    whose values cannot be compared against the mirror's columns fall
+    back to the hook→bucket dict.
+    """
+    match = _mirror_match(mirror)
+    col_uniques = match.col_uniques
+    if col_uniques is not None:
+        comb = None
+        for col, uniques in zip(hook_cols, col_uniques):
+            if not _kinds_comparable(col.dtype.kind, uniques.dtype.kind):
+                comb = None
+                break
+            rep_vals = col[reps]
+            ku = len(uniques)
+            pos = np.searchsorted(uniques, rep_vals)
+            np.minimum(pos, ku - 1, out=pos)
+            codes = np.where(uniques[pos] == rep_vals, pos, ku)
+            comb = codes if comb is None else comb * (ku + 1) + codes
+        if comb is not None:
+            m_sorted = match.m_sorted
+            pos = np.searchsorted(m_sorted, comb)
+            np.minimum(pos, len(m_sorted) - 1, out=pos)
+            keep = np.flatnonzero(m_sorted[pos] == comb)
+            return keep, match.m_order[pos[keep]]
+    hook_index = _hook_index_of(mirror, match)
+    if len(hook_cols) == 1:
+        rep_hooks: List = hook_cols[0][reps].tolist()
+    else:
+        rep_hooks = list(zip(*(col[reps].tolist() for col in hook_cols)))
+    keep_g: List[int] = []
+    bucket_g: List[int] = []
+    get = hook_index.get
+    for g, hook in enumerate(rep_hooks):
+        b = get(hook)
+        if b is not None:
+            keep_g.append(g)
+            bucket_g.append(b)
+    return (
+        np.asarray(keep_g, dtype=np.intp),
+        np.asarray(bucket_g, dtype=np.intp),
+    )
+
+
+def live_mirrors(view) -> int:
+    """Live columnar mirrors across a view's built indexes."""
+    indexes = getattr(view, "indexes", None)
+    if not indexes:
+        return 0
+    return sum(1 for index in indexes.values() if index.mirror is not None)
+
+
+# ----------------------------------------------------------------------
+# Compiled path
+# ----------------------------------------------------------------------
+
+
+class _FusedProbe:
+    """One compiled sibling probe: pure schema positions, no closures."""
+
+    __slots__ = ("sibling", "attrs", "hook_positions", "keep_positions")
+
+    def __init__(
+        self,
+        sibling: str,
+        attrs: Tuple[str, ...],
+        hook_positions: Tuple[int, ...],
+        keep_positions: Tuple[int, ...],
+    ):
+        self.sibling = sibling
+        self.attrs = attrs
+        #: Positions of the probe attributes in the *running* schema.
+        self.hook_positions = hook_positions
+        #: Positions (in the sibling key) of its non-shared suffix.
+        self.keep_positions = keep_positions
+
+    def run(self, cols, block, n, sibling, index, ring, stats, scratch):
+        """Probe one sibling: returns the widened ``(cols, block, n)``.
+
+        Delta rows are grouped by hook (first-seen order), each distinct
+        hook is looked up once, and surviving (group, bucket) pairs are
+        expanded into match-pair index arrays — gather + multiply then
+        run as three kernel calls over the whole batch.
+        """
+        hook_cols = [cols[p] for p in self.hook_positions]
+        gids, reps = _group_rows(hook_cols, n, scratch)
+        k = len(reps)
+        mirror = None
+        if len(sibling.data) <= MIRROR_MAX_ENTRIES:
+            if index.mirror is not None:
+                stats.mirror_hits += 1
+            else:
+                stats.mirror_builds += 1
+            mirror = index.columnar_mirror(ring, len(sibling.schema))
+        if mirror is not None:
+            if k == 0 or len(mirror.starts) == 0:
+                keep_arr = ent_start = ent_count = _EMPTY_IDX
+            elif not hook_cols:
+                # Cartesian step: one delta group, one all-entries bucket.
+                keep_arr = np.zeros(1, dtype=np.intp)
+                ent_start = mirror.starts
+                ent_count = mirror.counts
+            else:
+                keep_arr, bucket_idx = _match_reps(hook_cols, reps, mirror)
+                ent_start = mirror.starts[bucket_idx]
+                ent_count = mirror.counts[bucket_idx]
+            src_block = mirror.block
+            rest_sources = [mirror.key_cols[p] for p in self.keep_positions]
+        else:
+            # Direct mode (oversized sibling): gather only the matched
+            # buckets into a transient columnar form, same layout rules.
+            if not hook_cols:
+                hooks: List = [()] if k else []
+            elif len(hook_cols) == 1:
+                hooks = hook_cols[0][reps].tolist()
+            else:
+                hooks = list(zip(*(col[reps].tolist() for col in hook_cols)))
+            buckets_get = index.buckets.get
+            keep_g: List[int] = []
+            starts_g: List[int] = []
+            counts_g: List[int] = []
+            payloads: List = []
+            keys_b: List[Tuple] = []
+            for g, hook in enumerate(hooks):
+                bucket = buckets_get(hook)
+                if not bucket:
+                    continue
+                keep_g.append(g)
+                starts_g.append(len(payloads))
+                payloads.extend(bucket.values())
+                keys_b.extend(bucket.keys())
+                counts_g.append(len(payloads) - starts_g[-1])
+            keep_arr = np.asarray(keep_g, dtype=np.intp)
+            ent_start = np.asarray(starts_g, dtype=np.intp)
+            ent_count = np.asarray(counts_g, dtype=np.intp)
+            src_block = ring.make_block(payloads)
+            if keys_b and self.keep_positions:
+                cols_b = list(zip(*keys_b))
+                rest_sources = [
+                    column_array(list(cols_b[p])) for p in self.keep_positions
+                ]
+            else:
+                rest_sources = [
+                    column_array([]) for _ in self.keep_positions
+                ]
+        hits = len(keep_arr)
+        index.probes += k
+        index.hits += hits
+        stats.index_probes += k
+        stats.index_hits += hits
+        if not hits:
+            return cols, ring.zero_block(0), 0
+        # Members of each group, ascending row order within the group.
+        if reps is gids:
+            # Identity grouping (all delta hooks distinct): each group's
+            # single member is its own representative row.
+            member_start = keep_arr
+            member_count = np.ones(len(keep_arr), dtype=np.intp)
+            order = gids
+        else:
+            order = np.argsort(gids, kind="stable")
+            counts = np.bincount(gids, minlength=k)
+            member_start = np.concatenate(([0], np.cumsum(counts)[:-1]))[keep_arr]
+            member_count = counts[keep_arr]
+        left, right = _expand_pairs(
+            order,
+            member_start,
+            member_count,
+            ent_start,
+            ent_count,
+        )
+        new_cols = [col[left] for col in cols]
+        new_cols.extend(src[right] for src in rest_sources)
+        product = ring.mul_many(ring.take(block, left), ring.take(src_block, right))
+        return new_cols, product, len(left)
+
+
+class _FusedStep:
+    """One inner view of a fused ladder: probes, lifts, projection."""
+
+    __slots__ = ("view_name", "probes", "lifts", "group_positions")
+
+    def __init__(
+        self,
+        view_name: str,
+        probes: Tuple[_FusedProbe, ...],
+        lifts: Tuple[Tuple[int, Callable], ...],
+        group_positions: Tuple[int, ...],
+    ):
+        self.view_name = view_name
+        self.probes = probes
+        self.lifts = lifts  # (position in the running schema, lift fn)
+        self.group_positions = group_positions
+
+
+class FusedPath:
+    """The fused kernel of one relation's maintenance path.
+
+    :meth:`apply` is the compiled counterpart of
+    ``FIVMEngine._apply_columnar``: same ladder, same statistics
+    contract (``columnar_batches``/``columnar_steps`` keep advancing,
+    with ``fused_batches``/``fused_steps`` on top), bit-equal results.
+    """
+
+    __slots__ = (
+        "leaf_name",
+        "leaf_lifts",
+        "leaf_group_positions",
+        "steps",
+        "_scratch",
+    )
+
+    def __init__(
+        self,
+        leaf_name: str,
+        leaf_lifts: Tuple[Tuple[int, Callable], ...],
+        leaf_group_positions: Tuple[int, ...],
+        steps: Tuple[_FusedStep, ...],
+    ):
+        self.leaf_name = leaf_name
+        self.leaf_lifts = leaf_lifts  # (position in the delta schema, lift fn)
+        self.leaf_group_positions = leaf_group_positions
+        self.steps = steps
+        self._scratch = _Scratch()
+
+    def apply(self, engine, delta) -> None:
+        """Run the fused ladder for one delta batch."""
+        stats = engine.stats
+        stats.record_batch(delta)
+        stats.columnar_batches += 1
+        stats.fused_batches += 1
+        ring = engine.plan.ring
+        materialized = engine.materialized
+        view_sizes = stats.view_sizes
+        timer = time.perf_counter if engine.profile_stages else None
+        columnar = delta.columnar()
+        cols = [column_array(column) for column in columnar.columns]
+        n = len(columnar.counts)
+        # Lift: payload = (product of lifted attribute values) * multiplicity.
+        if timer:
+            t0 = timer()
+        if self.leaf_lifts:
+            block = None
+            for position, fn in self.leaf_lifts:
+                lifted = _lift_block(ring, fn, cols[position])
+                block = lifted if block is None else ring.mul_many(block, lifted)
+            block = ring.scale_many(block, columnar.counts)
+        else:
+            block = ring.from_int_many(columnar.counts)
+        if timer:
+            stats.record_stage("lift", timer() - t0)
+        cols, keys, block, n = self._group_compact(
+            ring, cols, self.leaf_group_positions, block, n, stats, timer
+        )
+        leaf_view = materialized[self.leaf_name]
+        if timer:
+            t0 = timer()
+        stats.mirror_invalidations += live_mirrors(leaf_view)
+        leaf_view.add_block_inplace(keys, block)
+        if timer:
+            stats.record_stage("scatter", timer() - t0)
+        view_sizes[self.leaf_name] = len(leaf_view)
+        for step in self.steps:
+            if not n:
+                break
+            for probe in step.probes:
+                sibling = materialized[probe.sibling]
+                index = sibling.ensure_index(probe.attrs)
+                if timer:
+                    t0 = timer()
+                cols, block, n = probe.run(
+                    cols, block, n, sibling, index, ring, stats, self._scratch
+                )
+                if timer:
+                    stats.record_stage("probe", timer() - t0)
+                stats.columnar_steps += 1
+                stats.fused_steps += 1
+                if not n:
+                    break
+            if not n:
+                # Annihilated mid-join: nothing propagates further up.
+                break
+            if step.lifts:
+                if timer:
+                    t0 = timer()
+                for position, fn in step.lifts:
+                    block = ring.mul_many(block, _lift_block(ring, fn, cols[position]))
+                if timer:
+                    stats.record_stage("multiply", timer() - t0)
+            cols, keys, block, n = self._group_compact(
+                ring, cols, step.group_positions, block, n, stats, timer
+            )
+            stats.delta_tuples_propagated += n
+            target = materialized[step.view_name]
+            if timer:
+                t0 = timer()
+            stats.mirror_invalidations += live_mirrors(target)
+            target.add_block_inplace(keys, block)
+            if timer:
+                stats.record_stage("scatter", timer() - t0)
+            view_sizes[step.view_name] = len(target)
+
+    def _group_compact(self, ring, cols, group_positions, block, n, stats, timer):
+        """Group-sum by the key positions, then drop exact ring zeros.
+
+        Returns ``(group_cols, keys, block, k)``: the gathered key
+        columns (the running schema after projection), matching key
+        tuples for the scatter, and the compacted block.
+        """
+        if timer:
+            t0 = timer()
+        group_cols = [cols[p] for p in group_positions]
+        gids, reps = _group_rows(group_cols, n, self._scratch)
+        k = len(reps)
+        if k != n:
+            block = ring.sum_segments(block, gids, k)
+            group_cols = [col[reps] for col in group_cols]
+        mask = ring.is_zero_many(block)
+        if mask.any():
+            keep = np.flatnonzero(~mask)
+            block = ring.take(block, keep)
+            group_cols = [col[keep] for col in group_cols]
+            k = len(keep)
+        keys = _keys_of(group_cols, k)
+        if timer:
+            stats.record_stage("group", timer() - t0)
+        return group_cols, keys, block, k
+
+
+def compile_fused_path(engine, relation_name: str) -> Optional[FusedPath]:
+    """Lower one relation's columnar ladder into a fused kernel.
+
+    Pure function of the static view tree, compiled once at engine
+    construction. Returns ``None`` when a lifting function on the path
+    lacks bulk metadata — exactly the condition under which the
+    interpreted columnar ladder also declines the path.
+    """
+    leaf, leaf_lifts, inner = engine._paths[relation_name]
+    schema = tuple(engine.query.schema_of(relation_name).attributes)
+    leaf_lift_items = []
+    for attr, fn in leaf_lifts.items():
+        if not bulk_liftable(fn):
+            return None
+        leaf_lift_items.append((schema.index(attr), fn))
+    leaf_group_positions = _positions(schema, tuple(leaf.key))
+    schema_now = tuple(leaf.key)
+    probe_steps = engine.probe_plan.path_steps[relation_name]
+    steps: List[_FusedStep] = []
+    for position, (view, lifts) in enumerate(inner):
+        probes = []
+        for step in probe_steps[position]:
+            sibling_key = engine.tree.views[step.sibling].key
+            hook_positions = _positions(schema_now, tuple(step.attrs))
+            keep_positions = tuple(
+                i for i, attr in enumerate(sibling_key) if attr not in schema_now
+            )
+            probes.append(
+                _FusedProbe(
+                    step.sibling, tuple(step.attrs), hook_positions, keep_positions
+                )
+            )
+            schema_now = schema_now + tuple(sibling_key[i] for i in keep_positions)
+        lift_items = []
+        for attr, fn in lifts.items():
+            if not bulk_liftable(fn):
+                return None
+            lift_items.append((schema_now.index(attr), fn))
+        steps.append(
+            _FusedStep(
+                view.name,
+                tuple(probes),
+                tuple(lift_items),
+                _positions(schema_now, tuple(view.key)),
+            )
+        )
+        schema_now = tuple(view.key)
+    return FusedPath(
+        leaf.name, tuple(leaf_lift_items), leaf_group_positions, tuple(steps)
+    )

@@ -24,6 +24,7 @@ from repro.data.database import Database
 from repro.data.index import IndexedRelation
 from repro.data.relation import Relation, _hook_getter, _key_getter, _positions
 from repro.engine.base import MaintenanceEngine
+from repro.engine.compile import FusedPath, compile_fused_path, live_mirrors
 from repro.engine.evaluation import evaluate_tree
 from repro.errors import EngineError
 from repro.query.query import Query
@@ -54,13 +55,23 @@ class FIVMEngine(MaintenanceEngine):
     bulk-liftable: the delta travels as key rows plus one contiguous
     payload block, sibling joins probe once per distinct hook value, and
     lift/join/marginalize arithmetic runs as whole-batch kernel calls
-    instead of a payload object per tuple. The default ``"auto"`` engages
-    it for compound payload rings only (numeric COVAR: >4x at batch
-    1000) — scalar rings already run allocation-free dict fast paths
-    that beat the kernel setup cost (~0.9x), so they stay per-tuple
-    unless forced with ``use_columnar=True``. Results are identical to
-    the per-tuple paths (floating-point group sums may associate
-    differently, like any batch-size change).
+    instead of a payload object per tuple. Results are identical to the
+    per-tuple paths (floating-point group sums may associate differently,
+    like any batch-size change).
+
+    ``use_fused`` (default on) compiles each columnar ladder further
+    into a :class:`~repro.engine.compile.FusedPath` — one fused kernel
+    per (relation, path) chaining lift -> probe-gather -> multiply ->
+    group-sum with int-keyed grouping and columnar sibling mirrors, and
+    *bit-equal* to the interpreted ladder by construction. Under
+    ``use_columnar="auto"`` compound rings always take the columnar
+    path, and scalar rings take it exactly when fused kernels are
+    available (the interpreted ladder loses ~10% to their dict fast
+    paths, the fused one wins). ``use_fused=False`` restores the
+    interpreted ladder (and the compound-rings-only "auto" rule) for
+    ablation. ``profile_stages`` accumulates per-stage wall-clock
+    seconds (lift/probe/multiply/group/scatter) into
+    ``stats.stage_seconds`` — the ``repro bench --profile`` breakdown.
     """
 
     strategy = "fivm"
@@ -72,6 +83,8 @@ class FIVMEngine(MaintenanceEngine):
         use_view_index: bool = True,
         adaptive_probe: bool = True,
         use_columnar = "auto",
+        use_fused: bool = True,
+        profile_stages: bool = False,
     ):
         super().__init__(query)
         self.plan = query.build_plan()
@@ -88,6 +101,8 @@ class FIVMEngine(MaintenanceEngine):
                 f"use_columnar must be 'auto', True or False, got {use_columnar!r}"
             )
         self.use_columnar = use_columnar
+        self.use_fused = bool(use_fused)
+        self.profile_stages = bool(profile_stages)
         self.probe_plan = build_probe_plan(self.tree)
         # Maintenance paths and per-view lifting dicts are pure functions
         # of the static tree; precompute them so apply() does no per-update
@@ -107,17 +122,35 @@ class FIVMEngine(MaintenanceEngine):
         # schema evolution along each path — hook/projection positions at
         # every step — is compiled once here rather than per batch.
         self._columnar_paths: Dict[str, "_ColumnarPath"] = {}
+        #: Fused kernels, one per vectorizable relation path (PR 7).
+        self._fused_paths: Dict[str, FusedPath] = {}
         ring = self.plan.ring
-        columnar_on = (
-            ring.has_bulk_kernels and not ring.is_scalar
-            if self.use_columnar == "auto"
-            else self.use_columnar and ring.has_bulk_kernels
-        )
+        if self.use_columnar == "auto":
+            # Compound rings always profit from the columnar path; scalar
+            # rings only beat their dict fast paths once the ladder is
+            # *fused*, so they engage exactly when fused kernels compile.
+            columnar_on = ring.has_bulk_kernels and (
+                not ring.is_scalar or self.use_fused
+            )
+        else:
+            columnar_on = bool(self.use_columnar) and ring.has_bulk_kernels
         if columnar_on and self.use_view_index:
             for name in self._paths:
                 cpath = self._build_columnar_path(name)
                 if cpath is not None:
                     self._columnar_paths[name] = cpath
+                    if self.use_fused:
+                        fpath = compile_fused_path(self, name)
+                        if fpath is not None:
+                            self._fused_paths[name] = fpath
+            if self.use_columnar == "auto" and ring.is_scalar:
+                # Never run the interpreted columnar ladder for scalar
+                # rings under "auto" — only fused paths made them engage.
+                self._columnar_paths = {
+                    name: cpath
+                    for name, cpath in self._columnar_paths.items()
+                    if name in self._fused_paths
+                }
 
     # ------------------------------------------------------------------
 
@@ -146,14 +179,23 @@ class FIVMEngine(MaintenanceEngine):
         stats = self.stats
         cpath = self._columnar_paths.get(relation_name)
         if cpath is not None and len(delta.data) >= stats.COLUMNAR_MIN_DELTA:
-            self._apply_columnar(relation_name, delta, cpath)
+            fpath = self._fused_paths.get(relation_name)
+            if fpath is not None:
+                fpath.apply(self, delta)
+            else:
+                self._apply_columnar(relation_name, delta, cpath)
             return
         stats.record_batch(delta)
+        # Mirrors only exist when fused paths run; small batches passing
+        # through here must still account for the mirrors they invalidate.
+        count_mirrors = bool(self._fused_paths)
         materialized = self.materialized
         view_sizes = stats.view_sizes
         leaf, leaf_lifts, inner = self._paths[relation_name]
         current = delta.lift(self.plan.ring, leaf.key, leaf_lifts)
         leaf_view = materialized[leaf.name]
+        if count_mirrors:
+            stats.mirror_invalidations += live_mirrors(leaf_view)
         leaf_view.add_inplace(current)
         view_sizes[leaf.name] = len(leaf_view)
         probe_steps = (
@@ -210,6 +252,8 @@ class FIVMEngine(MaintenanceEngine):
             current = joined.marginalize(view.key, lifts)
             stats.delta_tuples_propagated += len(current.data)
             target = materialized[view.name]
+            if count_mirrors:
+                stats.mirror_invalidations += live_mirrors(target)
             target.add_inplace(current)
             view_sizes[view.name] = len(target)
             previous_name = view.name

@@ -410,7 +410,7 @@ class ShardedEngine(MaintenanceEngine):
     backend:
         ``"auto"`` (process when ``fork`` exists and ``shards > 1``),
         ``"serial"`` or ``"process"``.
-    use_view_index, adaptive_probe, use_columnar:
+    use_view_index, adaptive_probe, use_columnar, use_fused:
         Forwarded to every shard's :class:`FIVMEngine`.
     columnar_transport:
         Send deltas to process-backend workers in columnar wire form
@@ -436,6 +436,7 @@ class ShardedEngine(MaintenanceEngine):
         use_view_index: bool = True,
         adaptive_probe: bool = True,
         use_columnar = "auto",
+        use_fused: bool = True,
         columnar_transport: bool = True,
     ):
         super().__init__(query)
@@ -446,6 +447,7 @@ class ShardedEngine(MaintenanceEngine):
         self.use_view_index = bool(use_view_index)
         self.adaptive_probe = bool(adaptive_probe)
         self.use_columnar = use_columnar
+        self.use_fused = bool(use_fused)
         self.columnar_transport = bool(columnar_transport)
         self.tree = build_view_tree(query, order=order)
         self.shard_plan: ShardPlan = build_shard_plan(self.tree, attrs=shard_attrs)
@@ -474,6 +476,7 @@ class ShardedEngine(MaintenanceEngine):
         query, order = self.query, self.order
         use_view_index, adaptive_probe = self.use_view_index, self.adaptive_probe
         use_columnar = self.use_columnar
+        use_fused = self.use_fused
 
         def factory() -> FIVMEngine:
             return FIVMEngine(
@@ -482,6 +485,7 @@ class ShardedEngine(MaintenanceEngine):
                 use_view_index=use_view_index,
                 adaptive_probe=adaptive_probe,
                 use_columnar=use_columnar,
+                use_fused=use_fused,
             )
 
         return factory

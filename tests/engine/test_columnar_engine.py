@@ -52,17 +52,29 @@ def covar_query(limit=2):
 
 
 class TestColumnarPathSelection:
-    def test_auto_engages_for_cofactor_not_scalar_rings(self):
+    def test_auto_engages_for_cofactor_and_fused_scalar_rings(self):
         covar = FIVMEngine(covar_query(), order=retailer_variable_order())
         assert covar._columnar_paths  # numeric cofactor: vectorizable
+        assert covar._fused_paths
+        # Scalar rings ride the columnar path too now that grouping is
+        # int-keyed — but only through fused kernels.
         count = FIVMEngine(
             retailer_query(CountSpec()), order=retailer_variable_order()
         )
-        assert not count._columnar_paths  # scalar fast path preferred
+        assert count._fused_paths
+        assert set(count._columnar_paths) == set(count._fused_paths)
+        # With fusion off, auto falls back to the scalar fast path.
+        unfused = FIVMEngine(
+            retailer_query(CountSpec()),
+            order=retailer_variable_order(),
+            use_fused=False,
+        )
+        assert not unfused._columnar_paths
         forced = FIVMEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
             use_columnar=True,
+            use_fused=False,
         )
         assert forced._columnar_paths
 

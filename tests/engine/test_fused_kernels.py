@@ -1,0 +1,389 @@
+"""Fused per-path kernels: bit-equality, mirrors, JIT gating, checkpoints.
+
+The fused ladder (:mod:`repro.engine.compile`) promises *bit-equal*
+results to the interpreted columnar ladder and the per-tuple path — not
+merely numerically close — because it replays the exact same float
+summation orders. These tests sweep rings, batch sizes and delete-heavy
+cancellation streams against that promise, and pin down the supporting
+invariants: columnar mirrors can never serve stale state, the numba
+backend is a pure speed knob behind ``REPRO_JIT``, and fused counters
+survive checkpoint round-trips.
+"""
+
+import os
+import pickle
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro.data import Relation, inserts
+from repro.data.index import IndexedRelation
+from repro.datasets import (
+    RetailerConfig,
+    UpdateStream,
+    continuous_covar_features,
+    generate_retailer,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+    toy_count_query,
+    toy_database,
+    toy_variable_order,
+)
+from repro.engine import FIVMEngine
+from repro.engine.compile import (
+    _expand_pairs,
+    _group_rows,
+    _Scratch,
+    compile_fused_path,
+    jit_kernels,
+)
+from repro.rings import CountSpec, CovarSpec
+from repro.rings.cofactor import CofactorLayout, NumericCofactorRing
+
+R_SCHEMA = ("A", "B")
+
+
+def covar_query(limit=2):
+    return retailer_query(
+        CovarSpec(continuous_covar_features(limit=limit), backend="numeric")
+    )
+
+
+def retailer_setup(seed=11, inventory_rows=300, insert_ratio=0.5):
+    config = RetailerConfig(
+        locations=4, dates=6, items=20, inventory_rows=inventory_rows, seed=seed
+    )
+    database = generate_retailer(config)
+    stream = UpdateStream(
+        database,
+        retailer_row_factories(config, database),
+        targets=("Inventory",),
+        batch_size=64,
+        insert_ratio=insert_ratio,
+        seed=seed,
+    )
+    return database, stream
+
+
+def payloads_identical(a, b):
+    """Bit-for-bit payload equality (never ``close_to``)."""
+    if hasattr(a, "c"):
+        return (
+            a.c == b.c and bool((a.s == b.s).all()) and bool((a.q == b.q).all())
+        )
+    return a == b
+
+
+def assert_views_bit_equal(fused, reference):
+    assert fused.materialized.keys() == reference.materialized.keys()
+    for name, view in fused.materialized.items():
+        ref = reference.materialized[name]
+        assert list(view.data.keys()) == list(ref.data.keys()), name
+        for key, payload in view.data.items():
+            assert payloads_identical(payload, ref.data[key]), (name, key)
+
+
+class TestFusedBitEquality:
+    """Fused vs interpreted vs per-tuple across rings and batch sizes."""
+
+    @pytest.mark.parametrize("batch_size", (16, 100, 500))
+    @pytest.mark.parametrize(
+        "query_ring",
+        ("covar", "count"),
+    )
+    def test_stream_sweep(self, query_ring, batch_size):
+        database, stream = retailer_setup()
+        events = list(stream.tuples(800))
+        query_of = covar_query if query_ring == "covar" else (
+            lambda: retailer_query(CountSpec())
+        )
+        engines = {}
+        for mode, kwargs in (
+            ("fused", {}),
+            ("interpreted", {"use_fused": False, "use_columnar": True}),
+            ("per_tuple", {"use_fused": False, "use_columnar": False}),
+        ):
+            engine = FIVMEngine(
+                query_of(), order=retailer_variable_order(), **kwargs
+            )
+            engine.initialize(database)
+            engine.apply_stream(iter(events), batch_size=batch_size)
+            engines[mode] = engine
+        if batch_size >= 100:
+            assert engines["fused"].stats.fused_batches > 0
+        assert engines["fused"].stats.fused_batches == (
+            engines["fused"].stats.columnar_batches
+        )
+        assert engines["interpreted"].stats.fused_batches == 0
+        assert_views_bit_equal(engines["fused"], engines["interpreted"])
+        assert_views_bit_equal(engines["fused"], engines["per_tuple"])
+        # Shared maintenance counters replay identically on the
+        # interpreted ladder (per-tuple takes different probe shapes).
+        fused, interp = engines["fused"].stats, engines["interpreted"].stats
+        assert fused.index_probes == interp.index_probes
+        assert fused.index_hits == interp.index_hits
+        assert fused.delta_tuples_propagated == interp.delta_tuples_propagated
+
+    def test_delete_heavy_cancellation(self):
+        """Insert-then-delete streams cancel to the exact same views."""
+        database, stream = retailer_setup(insert_ratio=0.2)
+        warm = list(stream.tuples(400))
+        fused = FIVMEngine(covar_query(), order=retailer_variable_order())
+        interp = FIVMEngine(
+            covar_query(),
+            order=retailer_variable_order(),
+            use_fused=False,
+            use_columnar=True,
+        )
+        for engine in (fused, interp):
+            engine.initialize(database)
+            engine.apply_stream(iter(warm), batch_size=128)
+        assert fused.stats.fused_batches > 0
+        assert_views_bit_equal(fused, interp)
+
+    def test_exact_insert_delete_annihilation(self):
+        """+row then -row in separate batches leaves no residue."""
+        engine = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        engine.initialize(toy_database())
+        rows = [(f"a{i}", i) for i in range(40)]
+        before = {
+            name: dict(view.data)
+            for name, view in engine.materialized.items()
+        }
+        engine.apply("R", inserts(R_SCHEMA, rows))
+        delta = inserts(R_SCHEMA, rows)
+        engine.apply("R", delta.neg())
+        assert engine.stats.fused_batches == 2
+        for name, view in engine.materialized.items():
+            assert view.data == before[name], name
+
+
+class TestColumnarMirror:
+    """A stale mirror can never serve a probe."""
+
+    def ring(self):
+        return NumericCofactorRing(CofactorLayout(("x",)))
+
+    def indexed(self):
+        ring = self.ring()
+        rel = IndexedRelation(("A", "B"), ring)
+        block = ring.make_block(
+            [ring.lift(0, float(v)) for v in (1.0, 2.0, 3.0)]
+        )
+        rel.add_block_inplace([(1, 10), (2, 20), (2, 21)], block)
+        return ring, rel, rel.ensure_index(("A",))
+
+    def test_mirror_layout_matches_buckets(self):
+        ring, rel, index = self.indexed()
+        mirror = index.columnar_mirror(ring, 2)
+        assert index.mirror is mirror
+        assert len(mirror.starts) == len(index.buckets)
+        total = 0
+        for b, (hook, bucket) in enumerate(index.buckets.items()):
+            assert mirror.hook_cols[0][b] == hook
+            start, count = mirror.starts[b], mirror.counts[b]
+            assert count == len(bucket)
+            assert [
+                tuple(col[i] for col in mirror.key_cols)
+                for i in range(start, start + count)
+            ] == list(bucket.keys())
+            total += count
+        assert total == ring.block_size(mirror.block)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        (
+            "add_inplace",
+            "add_block_inplace",
+            "index_set",
+            "index_discard",
+            "index_build",
+        ),
+    )
+    def test_every_mutation_drops_the_mirror(self, mutate):
+        ring, rel, index = self.indexed()
+        index.columnar_mirror(ring, 2)
+        assert index.mirror is not None
+        payload = ring.lift(0, 5.0)
+        if mutate == "add_inplace":
+            other = Relation(("A", "B"), ring)
+            other.data = {(9, 90): payload}
+            rel.add_inplace(other)
+        elif mutate == "add_block_inplace":
+            rel.add_block_inplace([(9, 90)], ring.make_block([payload]))
+        elif mutate == "index_set":
+            index.set((9, 90), payload)
+        elif mutate == "index_discard":
+            index.discard((1, 10))
+        else:
+            index.build(rel.data)
+        assert index.mirror is None, f"{mutate} left a stale mirror"
+
+    def test_add_inplace_drops_columnar_cache(self):
+        """Regression: the indexed add_inplace branch bypassed the base
+        class and left ``Relation.columnar()``'s cache stale."""
+        rel = IndexedRelation(("A", "B"))  # default Z multiplicities
+        rel.data = {(1, 10): 2, (2, 20): 1}
+        rel.ensure_index(("A",))
+        first = rel.columnar()
+        other = Relation(("A", "B"))
+        other.data = {(7, 70): 3}
+        rel.add_inplace(other)
+        refreshed = rel.columnar()
+        assert refreshed is not first
+        assert len(refreshed.counts) == len(rel.data)
+
+    def test_stale_mirror_never_reaches_a_fused_probe(self):
+        """End to end: mutate a sibling between fused batches and check
+        the next batch probes the *new* contents."""
+        engine = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        engine.initialize(toy_database())
+        rows = [(f"b{i}", i) for i in range(20)]
+        engine.apply("R", inserts(R_SCHEMA, rows))
+        oracle = FIVMEngine(
+            toy_count_query(),
+            order=toy_variable_order(),
+            use_fused=False,
+            use_columnar=False,
+        )
+        oracle.initialize(toy_database())
+        oracle.apply("R", inserts(R_SCHEMA, rows))
+        # Mutate S (the sibling view side) then push R rows again: the R
+        # path probes V_S, whose mirror must have been invalidated.
+        s_rows = [("b1", 1, 1), ("b2", 2, 2)]
+        engine.apply("S", inserts(("A", "C", "D"), s_rows))
+        oracle.apply("S", inserts(("A", "C", "D"), s_rows))
+        more = [(f"b{i}", i + 100) for i in range(30)]
+        engine.apply("R", inserts(R_SCHEMA, more))
+        oracle.apply("R", inserts(R_SCHEMA, more))
+        assert engine.stats.fused_batches >= 2
+        assert_views_bit_equal(engine, oracle)
+        assert engine.result() == oracle.result()
+
+
+class TestGroupingKernels:
+    def test_first_seen_order_matches_dict_pass(self):
+        rng = np.random.default_rng(3)
+        cols = [
+            np.asarray(rng.integers(0, 7, size=200)),
+            np.asarray(rng.integers(0, 5, size=200)),
+        ]
+        gids, reps = _group_rows(cols, 200, _Scratch())
+        seen = {}
+        for i, row in enumerate(zip(cols[0].tolist(), cols[1].tolist())):
+            expected = seen.setdefault(row, len(seen))
+            assert gids[i] == expected
+        assert [
+            (cols[0][r], cols[1][r]) for r in reps.tolist()
+        ] == list(seen.keys())
+
+    def test_object_columns_take_dict_encoding(self):
+        from repro.data.columnar import column_array
+
+        cols = [column_array([("t", 1), ("t", 2), ("t", 1)])]
+        assert cols[0].dtype.kind == "O"
+        gids, reps = _group_rows(cols, 3, _Scratch())
+        assert gids.tolist() == [0, 1, 0]
+        assert reps.tolist() == [0, 1]
+
+    def test_expand_pairs_order(self):
+        members = np.asarray([3, 0, 2, 1], dtype=np.intp)  # two groups
+        left, right = _expand_pairs(
+            members,
+            np.asarray([0, 2], dtype=np.intp),
+            np.asarray([2, 2], dtype=np.intp),
+            np.asarray([5, 9], dtype=np.intp),
+            np.asarray([2, 1], dtype=np.intp),
+        )
+        # Group 0: entries 5,6 outer x members 3,0 inner; group 1: entry 9.
+        assert left.tolist() == [3, 0, 3, 0, 2, 1]
+        assert right.tolist() == [5, 5, 6, 6, 9, 9]
+
+
+class TestJITGate:
+    def test_disabled_without_env(self):
+        with mock.patch.dict(os.environ, {}, clear=False):
+            os.environ.pop("REPRO_JIT", None)
+            from repro.engine import compile as compile_mod
+
+            compile_mod._JIT_CACHE.clear()
+            assert jit_kernels() is None
+            compile_mod._JIT_CACHE.clear()
+
+    def test_degrades_silently_when_numba_missing(self):
+        """REPRO_JIT=1 without numba must fall back to numpy, not raise."""
+        from repro.engine import compile as compile_mod
+
+        compile_mod._JIT_CACHE.clear()
+        with mock.patch.dict(os.environ, {"REPRO_JIT": "1"}):
+            kernels = jit_kernels()
+            has_numba = True
+            try:
+                import numba  # noqa: F401
+            except ImportError:
+                has_numba = False
+            if has_numba:
+                assert kernels is not None
+            else:
+                assert kernels is None
+        compile_mod._JIT_CACHE.clear()
+
+    def test_jit_expand_matches_numpy(self):
+        pytest.importorskip("numba")
+        from repro.engine import compile as compile_mod
+
+        compile_mod._JIT_CACHE.clear()
+        members = np.arange(6, dtype=np.intp)[::-1].copy()
+        args = (
+            members,
+            np.asarray([0, 3], dtype=np.intp),
+            np.asarray([3, 3], dtype=np.intp),
+            np.asarray([2, 7], dtype=np.intp),
+            np.asarray([2, 3], dtype=np.intp),
+        )
+        plain = _expand_pairs(*args)
+        with mock.patch.dict(os.environ, {"REPRO_JIT": "1"}):
+            jitted = _expand_pairs(*args)
+        compile_mod._JIT_CACHE.clear()
+        assert plain[0].tolist() == jitted[0].tolist()
+        assert plain[1].tolist() == jitted[1].tolist()
+
+
+class TestCheckpointRoundTrip:
+    def test_fused_counters_survive_snapshot(self):
+        database, stream = retailer_setup()
+        events = list(stream.tuples(600))
+        engine = FIVMEngine(covar_query(), order=retailer_variable_order())
+        engine.initialize(database)
+        engine.apply_stream(iter(events[:300]), batch_size=100)
+        assert engine.stats.fused_batches > 0
+        snapshot = pickle.loads(pickle.dumps(engine.export_state()))
+        clone = FIVMEngine(covar_query(), order=retailer_variable_order())
+        clone.import_state(snapshot)
+        for field in (
+            "fused_batches",
+            "fused_steps",
+            "mirror_hits",
+            "mirror_builds",
+            "mirror_invalidations",
+        ):
+            assert getattr(clone.stats, field) == getattr(
+                engine.stats, field
+            ), field
+        engine.apply_stream(iter(events[300:]), batch_size=100)
+        clone.apply_stream(iter(events[300:]), batch_size=100)
+        assert_views_bit_equal(clone, engine)
+        assert clone.stats.fused_batches == engine.stats.fused_batches
+
+    def test_restored_engine_keeps_fused_paths(self):
+        engine = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        engine.initialize(toy_database())
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        clone.import_state(engine.export_state())
+        assert set(clone._fused_paths) == set(engine._fused_paths)
+        assert all(
+            compile_fused_path(clone, name) is not None
+            for name in clone._fused_paths
+        )

@@ -329,6 +329,9 @@ class TestAdaptiveProbeVsScan:
     """Per-step probe-vs-scan choice from |delta| vs sibling size."""
 
     def small_engine(self, **kwargs):
+        # Probe-vs-scan is a per-tuple-path choice; keep fused kernels
+        # out so large count-ring batches still exercise it.
+        kwargs.setdefault("use_fused", False)
         engine = FIVMEngine(
             toy_count_query(), order=toy_variable_order(), **kwargs
         )
