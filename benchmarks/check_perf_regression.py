@@ -50,6 +50,7 @@ def config_key(benchmark: str, record: Dict) -> str:
         "columnar",
         "fused",
         "shards",
+        "transport",
         "endpoint",
         "readers",
         "stat",

@@ -40,6 +40,7 @@ from repro.apps import (
     ModelSelectionApp,
     RegressionApp,
 )
+from repro.config import EngineConfig, create_engine
 from repro.checkpoint import (
     CheckpointInfo,
     checkpoint_sink,
@@ -64,7 +65,12 @@ from repro.engine import (
     MaintenanceEngine,
     NaiveEngine,
     PerAggregateEngine,
+    PipeTransport,
+    ShardTransport,
     ShardedEngine,
+    SharedMemoryTransport,
+    available_backends,
+    available_transports,
     evaluate_tree,
 )
 from repro.errors import (
@@ -191,6 +197,14 @@ __all__ = [
     "PerAggregateEngine",
     "ShardedEngine",
     "evaluate_tree",
+    # engine construction & transports
+    "EngineConfig",
+    "create_engine",
+    "available_backends",
+    "available_transports",
+    "ShardTransport",
+    "PipeTransport",
+    "SharedMemoryTransport",
     # serving
     "EngineSnapshot",
     "SnapshotStore",

@@ -81,6 +81,9 @@ class CheckpointInfo:
     state_bytes: int
     file_bytes: int
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: :meth:`EngineConfig.to_dict` provenance recorded by the exporting
+    #: engine (empty for checkpoints written before configs existed).
+    config: Dict[str, Any] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One-line summary for CLI output and logs."""
@@ -125,6 +128,9 @@ def write_checkpoint(
         "created_at": time.time(),
         "state_bytes": len(blob),
         "metadata": dict(metadata or {}),
+        # EngineConfig provenance travels with the snapshot; primitives
+        # only, so the restricted header unpickler admits it.
+        "config": dict(state.get("config") or {}),
     }
     path = os.fspath(path)
     # Unique scratch name in the target directory: concurrent writers to
@@ -293,4 +299,5 @@ def _info(path: str, header: Mapping[str, Any], file_bytes: int) -> CheckpointIn
         state_bytes=int(header["state_bytes"]),
         file_bytes=int(file_bytes),
         metadata=dict(header.get("metadata") or {}),
+        config=dict(header.get("config") or {}),
     )

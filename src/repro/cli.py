@@ -46,6 +46,12 @@ from repro.apps import (
     ModelSelectionApp,
     RegressionApp,
 )
+from repro.config import (
+    EngineConfig,
+    add_engine_cli_args,
+    create_engine,
+    engine_config_from_args,
+)
 from repro.data import single, tuple_events
 from repro.datasets import (
     FAVORITA_SCHEMAS,
@@ -236,7 +242,9 @@ def _columnar_sweep(db, order, query_of, factories, targets, args) -> None:
     for batch_size in (1, 10, 100, 1000):
         for use_columnar in (True, False):
             engine = FIVMEngine(
-                query_of(CountSpec()), order=order, use_columnar=use_columnar
+                query_of(CountSpec()),
+                order=order,
+                config=EngineConfig(use_columnar=use_columnar),
             )
             engine.initialize(db)
             started = time.perf_counter()
@@ -276,16 +284,19 @@ def cmd_bench(args) -> int:
         ]
     else:
         updates = batches
-    view_index = not args.no_view_index
-    use_columnar = False if args.no_columnar else "auto"
-    use_fused = not args.no_fused
+    config = engine_config_from_args(args)
+    columnar = (
+        config.use_columnar
+        if isinstance(config.use_columnar, str)
+        else ("on" if config.use_columnar else "off")
+    )
     print(
         f"# engine comparison on {args.dataset} "
         f"(count ring, ingest={args.ingest}, batch size {args.batch_size}, "
-        f"view-index={'on' if view_index else 'off'}, "
-        f"columnar={'off' if args.no_columnar else 'auto'}, "
-        f"fused={'on' if use_fused else 'off'}"
-        + (f", shards={args.shards}" if args.shards > 1 else "")
+        f"view-index={'on' if config.use_view_index else 'off'}, "
+        f"columnar={columnar}, "
+        f"fused={'on' if config.use_fused else 'off'}"
+        + (f", shards={config.shards}" if config.shards > 1 else "")
         + ")"
     )
     print(f"{'engine':>14} {'init (s)':>9} {'maintain (s)':>13} {'updates/s':>11}")
@@ -293,12 +304,7 @@ def cmd_bench(args) -> int:
         (
             FIVMEngine.strategy,
             lambda: FIVMEngine(
-                query_of(CountSpec()),
-                order=order,
-                use_view_index=view_index,
-                use_columnar=use_columnar,
-                use_fused=use_fused,
-                profile_stages=args.profile,
+                query_of(CountSpec()), order=order, config=config.replace(shards=1)
             ),
         ),
         (
@@ -310,20 +316,13 @@ def cmd_bench(args) -> int:
             lambda: NaiveEngine(query_of(CountSpec()), order=order),
         ),
     ]
-    if args.shards > 1:
+    if config.shards > 1:
         contenders.insert(
             0,
             (
-                f"fivm x{args.shards}",
+                f"fivm x{config.shards}",
                 lambda: ShardedEngine(
-                    query_of(CountSpec()),
-                    order=order,
-                    shards=args.shards,
-                    backend=args.shard_backend,
-                    use_view_index=view_index,
-                    use_columnar=use_columnar,
-                    use_fused=use_fused,
-                    columnar_transport=not args.no_columnar,
+                    query_of(CountSpec()), order=order, config=config
                 ),
             ),
         )
@@ -349,7 +348,7 @@ def cmd_bench(args) -> int:
             # the in-process engines).
             results.append(engine.result())
             seconds = time.perf_counter() - started
-            if args.profile and isinstance(engine, FIVMEngine):
+            if config.profile_stages and isinstance(engine, FIVMEngine):
                 profiled = engine.stats
         finally:
             if isinstance(engine, ShardedEngine):
@@ -396,11 +395,7 @@ def _checkpoint_spec(args, payload: str):
 
 
 def _checkpoint_engine(args, query, order):
-    if args.shards > 1:
-        return ShardedEngine(
-            query, order=order, shards=args.shards, backend=args.shard_backend
-        )
-    return FIVMEngine(query, order=order)
+    return create_engine(query, config=engine_config_from_args(args), order=order)
 
 
 def _counting(events, counter):
@@ -469,7 +464,9 @@ def cmd_checkpoint_save(args) -> int:
     finally:
         if isinstance(engine, ShardedEngine):
             engine.close()
-    shard_note = f", {args.shards} shards" if args.shards > 1 else ""
+    shard_note = (
+        f", {args.engine_shards} shards" if args.engine_shards > 1 else ""
+    )
     print(
         f"# saved checkpoint after {counter[0]} updates "
         f"({args.dataset}, {args.payload} payload{shard_note})"
@@ -555,7 +552,7 @@ def cmd_serve(args) -> int:
     scenario = build_serving_scenario(
         args.dataset, args.payload, scale=args.scale, seed=args.seed
     )
-    engine = scenario.engine(shards=args.shards, backend=args.shard_backend)
+    engine = scenario.engine(config=engine_config_from_args(args))
     # Epoch 1 covers the initial database (event offset 0): readers get
     # answers from the first request on, never a 503 warm-up window.
     engine.publish(event_offset=0)
@@ -579,7 +576,7 @@ def cmd_serve(args) -> int:
         server.start()
         print(
             f"# serving {args.dataset} ({args.payload} payload"
-            + (f", {args.shards} shards" if args.shards > 1 else "")
+            + (f", {args.engine_shards} shards" if args.engine_shards > 1 else "")
             + f") on {server.url}",
             flush=True,
         )
@@ -622,6 +619,10 @@ def cmd_checkpoint_info(args) -> int:
     print(f"created: {created.isoformat(timespec='seconds')}")
     for key in sorted(info.metadata):
         print(f"  {key}: {info.metadata[key]}")
+    if info.config:
+        print("engine config:")
+        for key in sorted(info.config):
+            print(f"  {key}: {info.config[key]}")
     return 0
 
 
@@ -676,35 +677,6 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.add_argument(
-        "--no-view-index",
-        action="store_true",
-        help="ablation: disable F-IVM's persistent view indexes (scan siblings)",
-    )
-    bench.add_argument(
-        "--no-columnar",
-        action="store_true",
-        help=(
-            "ablation: disable the columnar maintenance path and the "
-            "sharded columnar pipe transport (per-tuple everywhere)"
-        ),
-    )
-    bench.add_argument(
-        "--no-fused",
-        action="store_true",
-        help=(
-            "ablation: run the interpreted columnar ladder instead of the "
-            "fused per-path kernels"
-        ),
-    )
-    bench.add_argument(
-        "--profile",
-        action="store_true",
-        help=(
-            "print per-stage wall time (lift/probe/multiply/group/scatter) "
-            "for the fivm engine's fused ladder"
-        ),
-    )
-    bench.add_argument(
         "--columnar-sweep",
         action="store_true",
         help=(
@@ -712,21 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
             "1/10/100/1000 (comparable to bench_delta_latency.py)"
         ),
     )
-    bench.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help=(
-            "also benchmark a ShardedEngine with this many hash-partitioned "
-            "F-IVM workers (1: unsharded engines only)"
-        ),
-    )
-    bench.add_argument(
-        "--shard-backend",
-        choices=("auto", "serial", "process"),
-        default="auto",
-        help="shard execution backend (auto: fork processes when available)",
-    )
+    add_engine_cli_args(bench)
     bench.set_defaults(func=cmd_bench)
 
     ckpt = sub.add_parser(
@@ -734,24 +692,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ckpt_sub = ckpt.add_subparsers(dest="checkpoint_command", required=True)
 
-    def topology(p):
-        p.add_argument(
-            "--shards",
-            type=int,
-            default=1,
-            help="engine topology: 1 = plain F-IVM, >1 = ShardedEngine",
-        )
-        p.add_argument(
-            "--shard-backend",
-            choices=("auto", "serial", "process"),
-            default="auto",
-        )
-
     save = ckpt_sub.add_parser(
         "save", help="ingest a seeded stream, then snapshot the engine"
     )
     common(save)
-    topology(save)
+    add_engine_cli_args(save)
     save.add_argument("path", help="checkpoint file to write")
     save.add_argument("--payload", choices=("count", "covar"), default="count")
     save.add_argument("--updates", type=int, default=2000)
@@ -774,7 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
             "engine; optionally resume and verify against full replay"
         ),
     )
-    topology(load)
+    add_engine_cli_args(load)
     load.add_argument("path", help="checkpoint file to read")
     load.add_argument(
         "--resume-updates",
@@ -812,10 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--batch-size", type=int, default=200)
     serve.add_argument("--insert-ratio", type=float, default=0.7)
-    serve.add_argument("--shards", type=int, default=1)
-    serve.add_argument(
-        "--shard-backend", choices=("auto", "serial", "process"), default="auto"
-    )
+    add_engine_cli_args(serve)
     serve.add_argument(
         "--linger",
         type=float,

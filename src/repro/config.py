@@ -1,0 +1,338 @@
+"""One frozen description of how to build a maintenance engine.
+
+Engine construction had accreted a kwarg sprawl — ``use_view_index``,
+``use_columnar``, ``use_fused``, ``shards``, ``backend``,
+``columnar_transport``, … — duplicated across :class:`FIVMEngine`,
+:class:`ShardedEngine` and dozens of hand-registered CLI flags.
+:class:`EngineConfig` consolidates all of it into a single frozen
+dataclass:
+
+- :func:`create_engine` builds the right engine (sharded coordinator or
+  plain F-IVM) from a config;
+- the legacy constructor kwargs keep working through
+  :func:`resolve_engine_config`, a deprecation shim with a single
+  ``DeprecationWarning`` path;
+- :func:`add_engine_cli_args` / :func:`engine_config_from_args` derive
+  the CLI's ``--engine-*`` flag namespace from the config fields (old
+  spellings like ``--shards`` and ``--no-columnar`` stay as aliases), so
+  ``repro bench``, ``repro checkpoint`` and ``repro serve`` share one
+  source of truth;
+- ``export_state`` / checkpoint headers record ``EngineConfig.to_dict``
+  for provenance, so a snapshot knows exactly how its engine was built.
+"""
+
+from __future__ import annotations
+
+import argparse
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import EngineError
+
+__all__ = [
+    "EngineConfig",
+    "create_engine",
+    "resolve_engine_config",
+    "add_engine_cli_args",
+    "engine_config_from_args",
+]
+
+#: Values accepted by the ``backend`` field (before resolution).
+BACKEND_CHOICES = ("auto", "serial", "process")
+#: Values accepted by the ``transport`` field (before resolution).
+TRANSPORT_CHOICES = ("auto", "pipe", "shm")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every tunable of engine construction, in one immutable value.
+
+    A config with ``shards == 1`` describes a plain
+    :class:`~repro.engine.fivm.FIVMEngine`; ``shards > 1`` describes a
+    :class:`~repro.engine.sharded.ShardedEngine` coordinator whose
+    per-shard engines inherit the F-IVM fields. Validation happens at
+    construction, so a config that exists is a config that builds.
+    """
+
+    #: Number of hash partitions (1 = unsharded F-IVM).
+    shards: int = 1
+    #: Shard execution backend: ``auto`` | ``serial`` | ``process``.
+    backend: str = "auto"
+    #: Shard data plane: ``auto`` (shared memory when available) |
+    #: ``pipe`` | ``shm``. Only meaningful for the process backend.
+    transport: str = "auto"
+    #: Explicit shard attributes (default: derived from the view tree).
+    shard_attrs: Optional[Tuple[str, ...]] = None
+    #: Ship pipe-transport deltas in columnar wire form (ablation switch;
+    #: the shm transport is always columnar).
+    columnar_transport: bool = True
+    #: F-IVM: persistent hash indexes on sibling views.
+    use_view_index: bool = True
+    #: F-IVM: adaptive probe-vs-scan choice per maintenance step.
+    adaptive_probe: bool = True
+    #: F-IVM: columnar maintenance ladder — ``"auto"`` | True | False.
+    use_columnar: Any = "auto"
+    #: F-IVM: fused per-path kernels over the columnar ladder.
+    use_fused: bool = True
+    #: F-IVM: accumulate per-stage wall-clock into ``stats.stage_seconds``.
+    profile_stages: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            try:
+                object.__setattr__(self, "shards", int(self.shards))
+            except (TypeError, ValueError):
+                raise EngineError(
+                    f"shards must be an int, got {self.shards!r}"
+                ) from None
+        if self.shards < 1:
+            raise EngineError("shards must be at least 1")
+        if self.backend not in BACKEND_CHOICES:
+            raise EngineError(
+                f"unknown shard backend {self.backend!r}; expected one of "
+                f"{BACKEND_CHOICES}"
+            )
+        if self.transport not in TRANSPORT_CHOICES:
+            raise EngineError(
+                f"unknown shard transport {self.transport!r}; expected one "
+                f"of {TRANSPORT_CHOICES}"
+            )
+        if self.shard_attrs is not None:
+            object.__setattr__(self, "shard_attrs", tuple(self.shard_attrs))
+        if self.use_columnar not in ("auto", True, False):
+            raise EngineError(
+                f"use_columnar must be 'auto', True or False, "
+                f"got {self.use_columnar!r}"
+            )
+        for name in (
+            "columnar_transport", "use_view_index", "adaptive_probe",
+            "use_fused", "profile_stages",
+        ):
+            object.__setattr__(self, name, bool(getattr(self, name)))
+
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A new config with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Primitive-only dict form (checkpoint headers, provenance)."""
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise EngineError(
+                f"unknown EngineConfig field(s) {unknown}; known: "
+                f"{sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def describe(self) -> str:
+        """Compact one-line summary (CLI banners, logs)."""
+        parts = [f"shards={self.shards}"]
+        if self.shards > 1:
+            parts.append(f"backend={self.backend}")
+            parts.append(f"transport={self.transport}")
+        parts.append(f"view-index={'on' if self.use_view_index else 'off'}")
+        columnar = (
+            self.use_columnar
+            if isinstance(self.use_columnar, str)
+            else ("on" if self.use_columnar else "off")
+        )
+        parts.append(f"columnar={columnar}")
+        parts.append(f"fused={'on' if self.use_fused else 'off'}")
+        return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Factory + legacy-kwarg shim
+# ----------------------------------------------------------------------
+
+
+def create_engine(query, config: Optional[EngineConfig] = None, order=None):
+    """Build the engine a config describes.
+
+    ``shards > 1`` builds a :class:`~repro.engine.sharded.ShardedEngine`
+    (the coordinator resolves backend/transport); otherwise a plain
+    :class:`~repro.engine.fivm.FIVMEngine` with the config's F-IVM
+    options. The returned engine still needs ``initialize()`` (or
+    ``import_state()``).
+    """
+    if config is None:
+        config = EngineConfig()
+    elif not isinstance(config, EngineConfig):
+        raise EngineError(
+            f"config must be an EngineConfig, got {type(config).__name__}"
+        )
+    # Imported lazily: the engine modules import this one at module level.
+    if config.shards > 1:
+        from repro.engine.sharded import ShardedEngine
+
+        return ShardedEngine(query, order=order, config=config)
+    from repro.engine.fivm import FIVMEngine
+
+    return FIVMEngine(query, order=order, config=config)
+
+
+def resolve_engine_config(
+    config: Optional[EngineConfig],
+    legacy: Mapping[str, Any],
+    cls_name: str,
+    allowed: Tuple[str, ...],
+    defaults: Optional[Mapping[str, Any]] = None,
+) -> EngineConfig:
+    """The deprecation shim behind every engine constructor.
+
+    ``config=`` wins when given; legacy keyword arguments (the pre-config
+    constructor surface, restricted to ``allowed`` per engine class so
+    signatures stay strict) build an equivalent config through this one
+    warning path. ``defaults`` preserves per-class defaults that differ
+    from the config's (``ShardedEngine`` historically defaulted to 2
+    shards).
+    """
+    merged = dict(defaults or {})
+    if legacy:
+        unknown = sorted(set(legacy) - set(allowed))
+        if unknown:
+            raise TypeError(
+                f"{cls_name}() got unexpected keyword argument(s) {unknown}"
+            )
+        if config is not None:
+            raise EngineError(
+                f"{cls_name}: pass config=EngineConfig(...) or legacy "
+                "keyword arguments, not both"
+            )
+        warnings.warn(
+            f"passing engine options to {cls_name}(...) as keyword "
+            "arguments is deprecated; pass config=repro.EngineConfig(...) "
+            "or use repro.create_engine(query, config)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        merged.update(legacy)
+        return EngineConfig(**merged)
+    if config is None:
+        return EngineConfig(**merged)
+    if not isinstance(config, EngineConfig):
+        raise EngineError(
+            f"{cls_name}: config must be an EngineConfig, "
+            f"got {type(config).__name__}"
+        )
+    return config
+
+
+# ----------------------------------------------------------------------
+# CLI derivation: one --engine-* namespace for every subcommand
+# ----------------------------------------------------------------------
+
+
+def add_engine_cli_args(parser: argparse.ArgumentParser, shards_default: int = 1) -> None:
+    """Register the shared ``--engine-*`` flag namespace on a subparser.
+
+    Every flag maps to one :class:`EngineConfig` field; the old hand-
+    registered spellings (``--shards``, ``--shard-backend``,
+    ``--no-view-index``, ``--no-columnar``, ``--no-fused``,
+    ``--profile``) remain as aliases of the same destinations, so
+    existing invocations keep working unchanged.
+    """
+    group = parser.add_argument_group(
+        "engine options", "shared --engine-* namespace (see repro.EngineConfig)"
+    )
+    group.add_argument(
+        "--engine-shards", "--shards",
+        dest="engine_shards", type=int, default=shards_default, metavar="N",
+        help=(
+            "hash partitions: 1 = plain F-IVM, >1 = ShardedEngine "
+            f"(default {shards_default})"
+        ),
+    )
+    group.add_argument(
+        "--engine-backend", "--shard-backend",
+        dest="engine_backend", choices=BACKEND_CHOICES, default="auto",
+        help="shard execution backend (auto: fork processes when available)",
+    )
+    group.add_argument(
+        "--engine-transport",
+        dest="engine_transport", choices=TRANSPORT_CHOICES, default="auto",
+        help=(
+            "shard data plane: shared-memory rings (shm, the default when "
+            "available) or pickled pipes (pipe)"
+        ),
+    )
+    group.add_argument(
+        "--engine-shard-attrs",
+        dest="engine_shard_attrs", default=None, metavar="A[,B...]",
+        help=(
+            "explicit comma-separated shard attributes "
+            "(default: derived from the view tree)"
+        ),
+    )
+    group.add_argument(
+        "--engine-view-index", "--view-index",
+        dest="engine_view_index", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="F-IVM persistent view indexes (--no-view-index: scan siblings)",
+    )
+    group.add_argument(
+        "--engine-columnar", "--columnar",
+        dest="engine_columnar", action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "columnar maintenance + columnar pipe wire form "
+            "(default: auto; --no-columnar: per-tuple everywhere)"
+        ),
+    )
+    group.add_argument(
+        "--engine-fused", "--fused",
+        dest="engine_fused", action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "fused per-path kernels "
+            "(--no-fused: interpreted columnar ladder)"
+        ),
+    )
+    group.add_argument(
+        "--engine-profile", "--profile",
+        dest="engine_profile", action="store_true",
+        help=(
+            "accumulate per-stage wall time "
+            "(lift/probe/multiply/group/scatter) in engine stats"
+        ),
+    )
+
+
+def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
+    """Build the :class:`EngineConfig` an ``--engine-*`` namespace encodes.
+
+    The tri-state ``--engine-columnar`` maps to the config exactly as the
+    historical flags did: absent -> ``use_columnar="auto"`` with the
+    columnar pipe wire form on; ``--no-columnar`` disables both.
+    """
+    columnar = getattr(args, "engine_columnar", None)
+    attrs = getattr(args, "engine_shard_attrs", None)
+    shard_attrs = (
+        tuple(a.strip() for a in attrs.split(",") if a.strip()) if attrs else None
+    )
+    return EngineConfig(
+        shards=int(getattr(args, "engine_shards", 1)),
+        backend=getattr(args, "engine_backend", "auto"),
+        transport=getattr(args, "engine_transport", "auto"),
+        shard_attrs=shard_attrs,
+        columnar_transport=columnar is not False,
+        use_view_index=bool(getattr(args, "engine_view_index", True)),
+        use_columnar="auto" if columnar is None else bool(columnar),
+        use_fused=bool(getattr(args, "engine_fused", True)),
+        profile_stages=bool(getattr(args, "engine_profile", False)),
+    )

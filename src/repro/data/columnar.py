@@ -22,6 +22,7 @@ lift a whole value column in one kernel call.
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,7 +30,15 @@ import numpy as np
 from repro.errors import DataError
 from repro.rings.base import Ring
 
-__all__ = ["ColumnarDelta", "column_array", "lift_column", "bulk_liftable"]
+__all__ = [
+    "ColumnarDelta",
+    "ColumnarBlocks",
+    "column_array",
+    "lift_column",
+    "bulk_liftable",
+    "decode_blocks",
+    "block_views",
+]
 
 Key = Tuple
 
@@ -193,9 +202,129 @@ class ColumnarDelta:
             relation._columnar = self
         return relation
 
+    def to_blocks(self) -> "ColumnarBlocks":
+        """Stage this delta for a shared-memory write.
+
+        Typed columns (numeric, boolean, fixed-width string) become raw
+        ndarray blocks copied bytewise into the segment; anything an
+        ndarray cannot represent exactly (mixed types, tuples, arbitrary
+        objects) falls back to one pickled blob per column. The counts
+        array is always the first raw block. The staged form knows its
+        total byte size *before* any segment is touched, so the sender
+        can grow the ring first.
+        """
+        parts: List[Tuple[str, Optional[str], Any]] = []
+        counts = np.ascontiguousarray(self.counts)
+        parts.append(("raw", counts.dtype.str, counts))
+        for position in range(len(self.schema)):
+            values = self.column(position)
+            arr = column_array(values)
+            if arr.dtype.kind in "iufbUS":
+                arr = np.ascontiguousarray(arr)
+                parts.append(("raw", arr.dtype.str, arr))
+            else:
+                blob = pickle.dumps(
+                    list(values), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                parts.append(("pkl", None, blob))
+        nbytes = sum(
+            part[2].nbytes if part[0] == "raw" else len(part[2])
+            for part in parts
+        )
+        return ColumnarBlocks(self.schema, len(self), parts, nbytes)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = self.name or "ColumnarDelta"
         return f"<{label}({', '.join(self.schema)}) |{len(self)}| columnar>"
+
+
+class ColumnarBlocks:
+    """A :class:`ColumnarDelta` staged as flat byte blocks.
+
+    The shared-memory wire form: :meth:`write_into` lays the blocks into
+    a buffer back to back and returns a small picklable *layout* tuple —
+    ``(row count, ((kind, dtype, offset, count, nbytes), ...))`` — which
+    travels over the control pipe while the bytes stay in shared memory.
+    :func:`decode_blocks` rebuilds the delta on the other side;
+    :func:`block_views` exposes the raw blocks as zero-copy numpy views.
+    """
+
+    __slots__ = ("schema", "length", "parts", "nbytes")
+
+    def __init__(self, schema, length, parts, nbytes):
+        self.schema = tuple(schema)
+        self.length = int(length)
+        self.parts = parts
+        self.nbytes = int(nbytes)
+
+    def write_into(self, buf, offset: int):
+        """Copy every block into ``buf`` starting at ``offset``.
+
+        Raw blocks are written through a numpy view over the target
+        buffer (one vectorized assignment, no intermediate pickle);
+        pickled blobs are spliced bytewise. Returns the layout tuple.
+        """
+        entries = []
+        position = int(offset)
+        for kind, dtype, payload in self.parts:
+            if kind == "raw":
+                nbytes = payload.nbytes
+                if nbytes:
+                    target = np.frombuffer(
+                        buf, dtype=payload.dtype, count=len(payload),
+                        offset=position,
+                    )
+                    target[:] = payload
+                entries.append((kind, dtype, position, len(payload), nbytes))
+            else:
+                nbytes = len(payload)
+                buf[position:position + nbytes] = payload
+                entries.append((kind, None, position, nbytes, nbytes))
+            position += nbytes
+        return (self.length, tuple(entries))
+
+
+def decode_blocks(schema, buf, layout, name: str = "") -> ColumnarDelta:
+    """Rebuild a :class:`ColumnarDelta` from blocks laid out in ``buf``.
+
+    Everything is copied out of the buffer — the returned delta owns its
+    data, so the sender may overwrite the slot the moment the caller
+    acknowledges it. Typed columns round-trip through ``tolist`` so key
+    values come back as the same plain Python objects the pipe wire form
+    carries (bit-exact routing and grouping either way).
+    """
+    _length, entries = layout
+    arrays = _block_values(buf, entries)
+    counts = np.array(arrays[0], dtype=np.int64)
+    columns = tuple(
+        arr.tolist() if isinstance(arr, np.ndarray) else list(arr)
+        for arr in arrays[1:]
+    )
+    return ColumnarDelta(schema, counts, columns=columns, name=name)
+
+
+def block_views(buf, layout) -> List[Any]:
+    """The blocks of a layout as views over ``buf`` — counts first.
+
+    Raw blocks come back as numpy views *sharing memory* with ``buf``
+    (the zero-copy read path); pickled blocks necessarily load into
+    fresh lists. Callers must drop the views before the segment closes.
+    """
+    _length, entries = layout
+    return _block_values(buf, entries)
+
+
+def _block_values(buf, entries) -> List[Any]:
+    values: List[Any] = []
+    for kind, dtype, offset, count, nbytes in entries:
+        if kind == "raw":
+            values.append(
+                np.frombuffer(buf, dtype=np.dtype(dtype), count=count,
+                              offset=offset)
+            )
+        else:
+            values.append(pickle.loads(bytes(buf[offset:offset + nbytes])))
+    return values
 
 
 # ----------------------------------------------------------------------

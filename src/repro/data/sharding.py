@@ -167,27 +167,34 @@ class ShardRouter:
         """Split a columnar delta into ``(shard, sub-delta)`` pairs.
 
         The columnar counterpart of :meth:`split`, used by the process
-        backend's pipe transport: rows route with the same stable hash
-        (so deletes keep following inserts regardless of wire form), but
-        the per-shard slices stay columnar — no per-shard dict of key
-        tuples is ever built on the coordinator. Broadcast relations
-        return the same delta object for every shard.
+        backend's data planes (columnar pipe wire and shared-memory
+        rings): rows route with the same stable hash (so deletes keep
+        following inserts regardless of wire form), but the hash reads
+        straight off the shard-attribute *columns* and the per-shard
+        slices are taken column-wise — no per-row key tuple is ever
+        materialized on the coordinator. Broadcast relations return the
+        same delta object for every shard.
         """
         positions = self._positions_of(relation)
         if positions is None:
             return [(shard, delta) for shard in range(self.shards)]
         if self.shards == 1:
             return [(0, delta)] if len(delta) else []
-        rows = delta.rows
+        shards = self.shards
+        if len(positions) == 1:
+            hooks = ((value,) for value in delta.column(positions[0]))
+        else:
+            hooks = zip(*(delta.column(j) for j in positions))
         members: Dict[int, List[int]] = {}
-        for i, row in enumerate(rows):
-            shard = shard_hash(tuple(row[j] for j in positions)) % self.shards
+        for i, hook in enumerate(hooks):
+            shard = shard_hash(hook) % shards
             group = members.get(shard)
             if group is None:
                 members[shard] = [i]
             else:
                 group.append(i)
         counts = delta.counts
+        columns = delta.columns
         parts: List[Tuple[int, ColumnarDelta]] = []
         for shard, picks in sorted(members.items()):
             idx = np.asarray(picks, dtype=np.intp)
@@ -197,7 +204,9 @@ class ShardRouter:
                     ColumnarDelta(
                         delta.schema,
                         counts[idx],
-                        rows=[rows[i] for i in picks],
+                        columns=tuple(
+                            [column[i] for i in picks] for column in columns
+                        ),
                         name=delta.name,
                     ),
                 )

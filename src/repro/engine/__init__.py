@@ -6,7 +6,13 @@ from repro.engine.firstorder import FirstOrderEngine
 from repro.engine.fivm import FIVMEngine
 from repro.engine.naive import NaiveEngine
 from repro.engine.peragg import PerAggregateEngine
-from repro.engine.sharded import ShardedEngine, available_backends
+from repro.engine.sharded import ShardBackend, ShardedEngine, available_backends
+from repro.engine.transport import (
+    PipeTransport,
+    ShardTransport,
+    SharedMemoryTransport,
+    available_transports,
+)
 
 __all__ = [
     "MaintenanceEngine",
@@ -16,7 +22,12 @@ __all__ = [
     "NaiveEngine",
     "PerAggregateEngine",
     "ShardedEngine",
+    "ShardBackend",
+    "ShardTransport",
+    "PipeTransport",
+    "SharedMemoryTransport",
     "available_backends",
+    "available_transports",
     "evaluate_tree",
     "evaluate_view",
 ]

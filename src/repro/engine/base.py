@@ -355,6 +355,9 @@ class MaintenanceEngine(ABC):
             "query": self.query.name,
         }
         state.update(self._export_payload())
+        config = self.config_provenance()
+        if config:
+            state["config"] = config
         state["stats"] = self.stats.snapshot()
         serving = self._snapshots.export_metadata()
         if serving is not None:
@@ -427,6 +430,12 @@ class MaintenanceEngine(ABC):
                 f"state was exported from query {query!r} but this engine "
                 f"maintains {self.query.name!r}"
             )
+
+    def config_provenance(self) -> Optional[Dict[str, Any]]:
+        """Primitive dict of how this engine was configured, for snapshot
+        and checkpoint headers; ``None`` when the engine has no config."""
+        config = getattr(self, "config", None)
+        return config.to_dict() if config is not None else None
 
     def _export_payload(self) -> Dict[str, Any]:
         """Engine-specific snapshot contents (hook for :meth:`export_state`)."""

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.config import EngineConfig, resolve_engine_config
 from repro.data.columnar import bulk_liftable, lift_column
 from repro.data.database import Database
 from repro.data.index import IndexedRelation
@@ -76,33 +77,36 @@ class FIVMEngine(MaintenanceEngine):
 
     strategy = "fivm"
 
+    #: Legacy constructor kwargs accepted by the deprecation shim.
+    LEGACY_OPTIONS = (
+        "use_view_index", "adaptive_probe", "use_columnar", "use_fused",
+        "profile_stages",
+    )
+
     def __init__(
         self,
         query: Query,
         order: Optional[VariableOrder] = None,
-        use_view_index: bool = True,
-        adaptive_probe: bool = True,
-        use_columnar = "auto",
-        use_fused: bool = True,
-        profile_stages: bool = False,
+        config: Optional[EngineConfig] = None,
+        **legacy,
     ):
         super().__init__(query)
+        config = resolve_engine_config(
+            config, legacy, "FIVMEngine", self.LEGACY_OPTIONS
+        )
+        self.config = config
         self.plan = query.build_plan()
         self.tree: ViewTree = build_view_tree(query, order=order, plan=self.plan)
         self.materialized: Dict[str, Relation] = {}
-        self.use_view_index = bool(use_view_index)
+        self.use_view_index = config.use_view_index
         #: Pick probe vs. scan per sibling join from |delta| against the
         #: sibling's size (constants on EngineStatistics); with
         #: ``adaptive_probe=False`` every step probes, the pre-adaptive
         #: behaviour. Only meaningful when ``use_view_index`` is on.
-        self.adaptive_probe = bool(adaptive_probe)
-        if use_columnar not in ("auto", True, False):
-            raise EngineError(
-                f"use_columnar must be 'auto', True or False, got {use_columnar!r}"
-            )
-        self.use_columnar = use_columnar
-        self.use_fused = bool(use_fused)
-        self.profile_stages = bool(profile_stages)
+        self.adaptive_probe = config.adaptive_probe
+        self.use_columnar = config.use_columnar
+        self.use_fused = config.use_fused
+        self.profile_stages = config.profile_stages
         self.probe_plan = build_probe_plan(self.tree)
         # Maintenance paths and per-view lifting dicts are pure functions
         # of the static tree; precompute them so apply() does no per-update

@@ -10,23 +10,38 @@ slice of the database, and the query result is the ring-sum of the
 per-shard root views (multilinearity of the join makes that exact — see
 :mod:`repro.data.sharding`).
 
-Two backends share one protocol:
+Two backends extend one :class:`ShardBackend` protocol:
 
 - ``"serial"`` keeps the shard engines in-process. No parallelism, but
   identical routing/merging semantics — this is what the determinism
   tests sweep and the fallback on platforms without ``fork``.
-- ``"process"`` forks one worker per shard. Deltas travel to workers over
-  pipes in *columnar* form — per-attribute key columns plus one int64
-  multiplicity array (:class:`~repro.data.columnar.ColumnarDelta`),
-  which pickles without a tuple object per key and so cuts coordinator
-  serialize cost at high shard counts (``columnar_transport=False``
-  restores the dict wire form for ablation). Applies are
-  fire-and-forget, so the coordinator routes batch *n+1* while workers
-  maintain batch *n*;
-  ``result()``/``shard_stats()``/``memory_report()``/``export_state()``
-  are synchronous fan-out/fan-in points. Fork start is required because
+- ``"process"`` forks one worker per shard over a duplex pipe each, with
+  the *data plane* delegated to a :class:`~repro.engine.transport`
+  implementation selected by :class:`~repro.config.EngineConfig`:
+
+  * ``transport="shm"`` (the default where available) moves payload
+    bytes through per-shard shared-memory rings — the pipes carry only
+    control messages (op, buffer generation, block layout) — and runs
+    ``result()``/``export_state()`` gathers *tree-wise*: workers merge
+    pairwise across shards and the coordinator reads one final blob,
+    so gather cost grows logarithmically rather than linearly in the
+    shard count.
+  * ``transport="pipe"`` is the historical wire: deltas pickled through
+    the pipe in columnar form (``columnar_transport=False`` restores
+    the dict form for ablation), gathers fanned in and merged on the
+    coordinator.
+
+  Applies are fire-and-forget either way, so the coordinator routes
+  batch *n+1* while workers maintain batch *n*; ``result()`` /
+  ``shard_stats()`` / ``memory_report()`` / ``export_state()`` are
+  synchronous fan-out/fan-in points. Fork start is required because
   payload plans hold lifting closures that cannot cross a spawn boundary
   — workers inherit the query object instead of unpickling it.
+
+Every merge path — the serial backend, the pipe coordinator and the shm
+worker tree — folds per-shard parts in the *same* pairwise structure
+(:func:`pairwise_fold`), so all transports produce bit-identical results
+for any ring, floating point included.
 
 Checkpoints are shard-count portable: ``export_state`` merges per-shard
 view snapshots into the global normal form a plain
@@ -43,18 +58,32 @@ import multiprocessing
 import os
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.config import EngineConfig, resolve_engine_config
 from repro.data.columnar import ColumnarDelta
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.data.sharding import ShardRouter, shard_hash
 from repro.engine.base import EngineStatistics, MaintenanceEngine
 from repro.engine.fivm import FIVMEngine
+from repro.engine.transport import (
+    PipeTransport,
+    ShardTransport,
+    SharedMemoryTransport,
+    _ShmOverflow,
+    resolve_transport,
+)
 from repro.errors import EngineError
 from repro.query.query import Query
 from repro.query.variable_order import VariableOrder
 from repro.viewtree.builder import ShardPlan, build_shard_plan, build_view_tree
 
-__all__ = ["ShardedEngine", "available_backends", "resolve_backend"]
+__all__ = [
+    "ShardedEngine",
+    "ShardBackend",
+    "available_backends",
+    "resolve_backend",
+    "pairwise_fold",
+]
 
 BACKENDS = ("serial", "process")
 
@@ -86,18 +115,124 @@ def resolve_backend(backend: str, shards: int) -> str:
 
 
 # ----------------------------------------------------------------------
+# Pairwise merging — one fold structure for every transport
+# ----------------------------------------------------------------------
+
+
+def pairwise_fold(parts: List[Any], combine: Callable[[Any, Any], Any]) -> Any:
+    """Fold ``parts`` pairwise: adjacent pairs combine, odd tails pass up.
+
+    This is exactly the reduction order of the shm worker tree (shard
+    ``s+step`` merges into shard ``s`` round by round), so folding
+    per-shard results with it on the coordinator — as the serial and
+    pipe paths do — yields bit-identical floats to the tree merge.
+    ``combine`` may mutate and return its left argument; callers own the
+    leaf copies.
+    """
+    if not parts:
+        return None
+    while len(parts) > 1:
+        folded = []
+        for i in range(0, len(parts) - 1, 2):
+            folded.append(combine(parts[i], parts[i + 1]))
+        if len(parts) % 2:
+            folded.append(parts[-1])
+        parts = folded
+    return parts[0]
+
+
+def _merge_root_pair(left: Dict, right: Dict, key, ring) -> Dict:
+    """Ring-add two root-view dicts (mutates and returns ``left``)."""
+    mine = Relation(key, ring)
+    mine.data = left
+    theirs = Relation(key, ring)
+    theirs.data = right
+    mine.add_inplace(theirs)
+    return mine.data
+
+
+def _merge_root_states(parts: List[Dict], key, ring) -> Dict:
+    """Pairwise ring-sum of per-shard root-view dicts (leaf copies)."""
+    return pairwise_fold(
+        [dict(part) for part in parts],
+        lambda a, b: _merge_root_pair(a, b, key, ring),
+    ) or {}
+
+
+def _merge_views_pair(left, right, keys, ring, broadcast_views) -> Dict:
+    """Merge two per-shard ``{view name -> data}`` maps view by view.
+
+    Views over broadcast relations only are identical replicas — the
+    lower shard's copy is kept instead of summed (summing would
+    double-count). Mutates and returns ``left``.
+    """
+    for name, data in left.items():
+        if name in broadcast_views:
+            continue
+        left[name] = _merge_root_pair(data, right[name], keys[name], ring)
+    return left
+
+
+def _merge_view_states(parts, keys, ring, broadcast_views) -> Dict[str, Dict]:
+    """Pairwise merge of per-shard view-snapshot maps (leaf copies)."""
+    return pairwise_fold(
+        [{name: dict(data) for name, data in part.items()} for part in parts],
+        lambda a, b: _merge_views_pair(a, b, keys, ring, broadcast_views),
+    ) or {}
+
+
+# ----------------------------------------------------------------------
 # Backends
 # ----------------------------------------------------------------------
 
 
-class _SerialBackend:
-    """All shard engines live in the coordinator process.
+class ShardBackend:
+    """What the coordinator needs from a set of shard engines.
 
-    Shards are seeded either from per-shard ``databases`` (initialize) or
-    from per-shard ``states`` (checkpoint restore) — exactly one of the
-    two. A closed backend refuses every operation with a descriptive
-    :class:`EngineError` instead of dying on its emptied engine list.
+    Both backends seed their shards either from per-shard ``databases``
+    (initialize) or from per-shard ``states`` (checkpoint restore) —
+    exactly one of the two — and a closed backend refuses every
+    operation with the same descriptive :class:`EngineError` instead of
+    dying on its emptied engine/connection lists. Subclasses implement
+    ``apply``/``results``/``stats``/``memory``/``export_states``/
+    ``close``.
     """
+
+    name = "abstract"
+
+    def __init__(self):
+        self.closed = False
+
+    @staticmethod
+    def _check_seeds(databases, states) -> List:
+        if (databases is None) == (states is None):
+            raise EngineError(
+                "shard backend needs either databases or states, not both"
+            )
+        return databases if states is None else states
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise EngineError(
+                "shard backend is closed; initialize() (or import_state()) "
+                "the engine again before using it"
+            )
+
+    def _raise_gather_errors(self, errors: List[str], dead: bool) -> None:
+        """Surface per-shard failures as one joined :class:`EngineError`.
+
+        When a worker died (``dead``) the request/reply alignment cannot
+        be recovered, so the backend tears itself down first; otherwise
+        it stays usable after the error.
+        """
+        if errors:
+            if dead:
+                self.close()
+            raise EngineError("; ".join(errors))
+
+
+class _SerialBackend(ShardBackend):
+    """All shard engines live in the coordinator process."""
 
     name = "serial"
 
@@ -107,26 +242,15 @@ class _SerialBackend:
         databases: Optional[List[Database]] = None,
         states: Optional[List[dict]] = None,
     ):
-        self.closed = False
-        if (databases is None) == (states is None):
-            raise EngineError(
-                "shard backend needs either databases or states, not both"
-            )
+        super().__init__()
+        seeds = self._check_seeds(databases, states)
+        self.engines = [factory() for _ in seeds]
         if states is None:
-            self.engines = [factory() for _ in databases]
             for engine, database in zip(self.engines, databases):
                 engine.initialize(database)
         else:
-            self.engines = [factory() for _ in states]
             for engine, state in zip(self.engines, states):
                 engine.import_state(state)
-
-    def _require_open(self) -> None:
-        if self.closed:
-            raise EngineError(
-                "shard backend is closed; initialize() (or import_state()) "
-                "the engine again before using it"
-            )
 
     def apply(self, shard: int, relation_name: str, delta: Relation) -> None:
         self._require_open()
@@ -153,14 +277,93 @@ class _SerialBackend:
         self.closed = True
 
 
-def _shard_worker(conn, factory, database, state=None) -> None:
+def _serve_tree(conn, endpoint, engine, op, seq, failure, broadcast_views):
+    """One worker's side of a tree gather; returns the new parked failure.
+
+    A parked failure (or a merge-partner failure) poisons this worker's
+    write round — so partners waiting on it abort fast instead of timing
+    out — and replies ``("error", ...)``. A blob that does not fit the
+    up block replies ``("overflow", needed bytes)`` without parking: the
+    coordinator grows the blocks and retries the whole gather.
+    """
+    if failure is None and endpoint is None:  # pragma: no cover - defensive
+        failure = f"shard worker got tree op {op!r} without an shm endpoint"
+    if failure is not None:
+        try:
+            endpoint.poison(seq)
+        except Exception:
+            pass
+        conn.send(("error", failure))
+        return failure
+    try:
+        ring = engine.tree.plan.ring
+        if op == "tresult":
+            key = engine.tree.root.key
+            payload = dict(engine.result().data)
+
+            def combine(mine, theirs):
+                return _merge_root_pair(mine, theirs, key, ring)
+
+        else:  # "texport"
+            keys = {
+                name: node.key for name, node in engine.tree.views.items()
+            }
+            payload = {
+                name: dict(data)
+                for name, data in engine._export_payload()["views"].items()
+            }
+
+            def combine(mine, theirs):
+                return _merge_views_pair(
+                    mine, theirs, keys, ring, broadcast_views
+                )
+
+        endpoint.tree_merge(seq, payload, combine)
+        conn.send(("ok", "done"))
+        return None
+    except _ShmOverflow as exc:
+        try:
+            endpoint.poison(seq, needed=exc.needed)
+        except Exception:
+            pass
+        conn.send(("overflow", exc.needed))
+        return failure
+    except Exception as exc:
+        message = f"shard worker failed on {op!r}: {exc!r}"
+        try:
+            endpoint.poison(seq)
+        except Exception:
+            pass
+        conn.send(("error", message))
+        return message
+
+
+def _shard_worker(
+    conn, factory, database, state=None, endpoint=None, broadcast_views=(),
+    inherited=(),
+) -> None:
     """Worker loop: build the engine, then serve the coordinator's pipe.
 
     The engine is seeded from ``state`` (checkpoint restore) when given,
-    otherwise from ``database``. Every reply is ``("ok", payload)`` or
-    ``("error", message)``; applies are fire-and-forget, so an apply
-    failure is parked and surfaced at the next synchronous exchange.
+    otherwise from ``database``. Every synchronous reply is
+    ``("ok", payload)``, ``("error", message)`` or — for tree gathers —
+    ``("overflow", bytes)``; applies are fire-and-forget, so an apply
+    failure is parked and surfaced at the next synchronous exchange. A
+    parked worker still services the transport control plane: shared-
+    memory deltas are acknowledged (``mark_consumed``) so the
+    coordinator's ring flow control never deadlocks on a failed shard,
+    and ``remap``/``remap_up`` segment swaps are honoured.
+
+    ``inherited`` holds the coordinator-side pipe ends this fork copied;
+    they are closed immediately so that a dying coordinator delivers EOF
+    to every worker (a worker holding a duplicate of its own upstream
+    end would otherwise block on ``recv`` forever).
     """
+    for other in inherited:
+        try:
+            other.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
     try:
         engine = factory()
         if state is not None:
@@ -185,10 +388,38 @@ def _shard_worker(conn, factory, database, state=None) -> None:
         op = message[0]
         if op == "stop":
             break
-        is_apply = op == "apply" or op == "applyc"
+        if op == "remap":
+            # Fire-and-forget segment swap — no reply, and honoured even
+            # when a failure is parked (the coordinator already switched).
+            try:
+                endpoint.remap_down(message[1], message[2])
+            except Exception as exc:  # pragma: no cover - defensive
+                failure = failure or f"shard worker failed on 'remap': {exc!r}"
+            continue
+        if op == "remap_up":
+            try:
+                endpoint.remap_up(message[1], message[2])
+            except Exception as exc:  # pragma: no cover - defensive
+                failure = (
+                    failure or f"shard worker failed on 'remap_up': {exc!r}"
+                )
+            continue
+        if op == "tresult" or op == "texport":
+            failure = _serve_tree(
+                conn, endpoint, engine, op, message[1], failure,
+                broadcast_views,
+            )
+            continue
+        is_apply = op == "apply" or op == "applyc" or op == "applyd"
         try:
             if failure is not None:
-                if not is_apply:
+                if op == "applyd":
+                    # Keep the ring flow control moving even while parked.
+                    try:
+                        endpoint.mark_consumed(message[2])
+                    except Exception:
+                        pass
+                elif not is_apply:
                     conn.send(("error", failure))
             elif op == "apply":
                 relation_name, data = message[1], message[2]
@@ -205,6 +436,16 @@ def _shard_worker(conn, factory, database, state=None) -> None:
                     name=relation_name,
                 ).to_relation()
                 engine.apply(relation_name, delta)
+            elif op == "applyd":
+                # Shared-memory wire form: the pipe carried only the
+                # generation and block layout; the bytes are in the ring.
+                relation_name, generation, layout = (
+                    message[1], message[2], message[3]
+                )
+                delta = endpoint.read_delta(
+                    schemas[relation_name], relation_name, generation, layout
+                )
+                engine.apply(relation_name, delta)
             elif op == "result":
                 conn.send(("ok", engine.result().data))
             elif op == "stats":
@@ -219,15 +460,18 @@ def _shard_worker(conn, factory, database, state=None) -> None:
             failure = f"shard worker failed on {op!r}: {exc!r}"
             if not is_apply:
                 conn.send(("error", failure))
+    if endpoint is not None:
+        endpoint.close()
     conn.close()
 
 
-class _ProcessBackend:
+class _ProcessBackend(ShardBackend):
     """One forked worker process per shard, one duplex pipe each.
 
-    Like :class:`_SerialBackend`, seeded from per-shard ``databases`` or
-    checkpoint ``states``. The pipe protocol is strictly one reply per
-    synchronous request, so :meth:`_gather` must *always* drain every
+    The pipe is the *control plane*; the injected
+    :class:`~repro.engine.transport.ShardTransport` is the data plane
+    (see the module docstring). The pipe protocol is strictly one reply
+    per synchronous request, so gathers must *always* drain every
     fanned-out reply — even when a shard reports an error — or the next
     gather would read the stale replies of the previous op and silently
     return results for the wrong request.
@@ -235,30 +479,39 @@ class _ProcessBackend:
 
     name = "process"
 
+    #: How many grow-and-retry rounds a tree gather may take before the
+    #: backend gives up (each round at least doubles the up blocks).
+    MAX_GATHER_ATTEMPTS = 4
+
     def __init__(
         self,
         factory: Callable[[], MaintenanceEngine],
         databases: Optional[List[Database]] = None,
         states: Optional[List[dict]] = None,
+        transport: Optional[ShardTransport] = None,
+        broadcast_views: Tuple[str, ...] = (),
     ):
-        if (databases is None) == (states is None):
-            raise EngineError(
-                "shard backend needs either databases or states, not both"
-            )
+        super().__init__()
+        seeds = self._check_seeds(databases, states)
         context = multiprocessing.get_context("fork")
-        self.closed = False
+        self.transport = transport if transport is not None else PipeTransport()
         self.connections = []
         self.processes = []
-        seeds = databases if states is None else states
         try:
-            for seed in seeds:
+            self.transport.setup(len(seeds))
+            for shard, seed in enumerate(seeds):
                 parent_conn, child_conn = context.Pipe(duplex=True)
                 database, state = (
                     (seed, None) if states is None else (None, seed)
                 )
                 process = context.Process(
                     target=_shard_worker,
-                    args=(child_conn, factory, database, state),
+                    args=(
+                        child_conn, factory, database, state,
+                        self.transport.worker_endpoint(shard),
+                        broadcast_views,
+                        (*self.connections, parent_conn),
+                    ),
                     daemon=True,
                 )
                 process.start()
@@ -275,13 +528,6 @@ class _ProcessBackend:
 
     # ------------------------------------------------------------------
 
-    def _require_open(self) -> None:
-        if self.closed:
-            raise EngineError(
-                "shard backend is closed; initialize() (or import_state()) "
-                "the engine again before using it"
-            )
-
     def apply(self, shard: int, relation_name: str, delta: Relation) -> None:
         self._require_open()
         try:
@@ -289,26 +535,25 @@ class _ProcessBackend:
         except (BrokenPipeError, OSError) as exc:
             raise EngineError(f"shard {shard} worker is gone: {exc!r}") from None
 
-    def apply_columnar(
-        self, shard: int, relation_name: str, delta: ColumnarDelta
-    ) -> None:
-        """Fire-and-forget apply in the columnar wire form.
+    def apply_delta(self, shard: int, relation_name: str, delta) -> None:
+        """Fire-and-forget apply through the transport's data plane.
 
-        Columns pickle as homogeneous lists (no tuple object per key)
-        and multiplicities as plain small ints — the measured wire is
-        ~20% smaller and serializes ~2x faster than the dict form on
-        retailer batch-1000 streams (``bench_columnar.py``).
+        ``delta`` is whatever the transport asked for
+        (``wants_columnar``): a :class:`ColumnarDelta` for the columnar
+        pipe wire and the shm rings, a :class:`Relation` otherwise.
         """
         self._require_open()
-        _schema, columns, counts = delta.transport()
         try:
-            self.connections[shard].send(
-                ("applyc", relation_name, columns, counts)
+            self.transport.send_delta(
+                self.connections[shard], shard, relation_name, delta,
+                alive=self.processes[shard].is_alive,
             )
         except (BrokenPipeError, OSError) as exc:
             raise EngineError(f"shard {shard} worker is gone: {exc!r}") from None
 
     def results(self) -> List[Dict]:
+        if self.transport.tree_gather:
+            return [self._gather_tree("tresult")]
         return self._gather("result")
 
     def stats(self) -> List[Dict[str, int]]:
@@ -318,6 +563,8 @@ class _ProcessBackend:
         return self._gather("memory")
 
     def export_states(self) -> List[dict]:
+        if self.transport.tree_gather:
+            return [{"views": self._gather_tree("texport")}]
         return self._gather("export")
 
     def close(self) -> None:
@@ -335,6 +582,8 @@ class _ProcessBackend:
             conn.close()
         self.connections = []
         self.processes = []
+        # Workers are down (or being torn down): unlink every segment.
+        self.transport.close()
         self.closed = True
 
     # ------------------------------------------------------------------
@@ -373,11 +622,70 @@ class _ProcessBackend:
                 errors.append(f"shard {shard}: {payload}")
             else:
                 results[shard] = payload
-        if errors:
-            if dead:
-                self.close()
-            raise EngineError("; ".join(errors))
+        self._raise_gather_errors(errors, dead)
         return results
+
+    def _gather_tree(self, op: str) -> Dict:
+        """Run one tree-wise gather; returns the final merged payload.
+
+        The workers merge pairwise among themselves through the up
+        blocks; the coordinator only fans out ``(op, seq)``, drains one
+        acknowledgement per shard (keeping the pipes aligned exactly as
+        :meth:`_gather` does) and reads shard 0's final blob. Overflow
+        acknowledgements grow the up blocks and retry the whole gather
+        under a fresh sequence number.
+        """
+        self._require_open()
+        for _attempt in range(self.MAX_GATHER_ATTEMPTS):
+            # A dead partner would stall the worker-side merge dance, so
+            # check liveness before fanning out rather than after.
+            for shard, process in enumerate(self.processes):
+                if not process.is_alive():
+                    self.close()
+                    raise EngineError(
+                        f"shard {shard} worker died (process exited); "
+                        "shard backend closed"
+                    )
+            seq = self.transport.new_sequence()
+            sent: List[Tuple[int, Any]] = []
+            errors: List[str] = []
+            dead = False
+            overflow = 0
+            for shard, conn in enumerate(self.connections):
+                try:
+                    conn.send((op, seq))
+                    sent.append((shard, conn))
+                except (BrokenPipeError, OSError) as exc:
+                    errors.append(f"shard {shard} worker is gone: {exc!r}")
+                    dead = True
+            for shard, conn in sent:
+                try:
+                    status, payload = self._receive(shard, conn)
+                except EngineError as exc:
+                    errors.append(str(exc))
+                    dead = True
+                    continue
+                if status == "overflow":
+                    overflow = max(overflow, int(payload))
+                elif status != "ok":
+                    errors.append(f"shard {shard}: {payload}")
+            self._raise_gather_errors(errors, dead)
+            if overflow:
+                names, up_bytes = self.transport.grow_up(overflow)
+                for shard, conn in enumerate(self.connections):
+                    try:
+                        conn.send(("remap_up", names, up_bytes))
+                    except (BrokenPipeError, OSError) as exc:
+                        self._raise_gather_errors(
+                            [f"shard {shard} worker is gone: {exc!r}"],
+                            dead=True,
+                        )
+                continue
+            return self.transport.read_final(seq)
+        raise EngineError(  # pragma: no cover - would need pathological growth
+            f"tree gather {op!r} still overflowed after "
+            f"{self.MAX_GATHER_ATTEMPTS} block-growth attempts"
+        )
 
     def _receive(self, shard: int, conn) -> Tuple[str, Any]:
         """One raw ``(status, payload)`` reply; EOF means the worker died."""
@@ -402,21 +710,13 @@ class ShardedEngine(MaintenanceEngine):
     query, order:
         As for :class:`~repro.engine.fivm.FIVMEngine`; every shard builds
         the same tree over its partition.
-    shards:
-        Number of partitions (>= 1).
-    shard_attrs:
-        Explicit hash attributes; default: derived from the view tree by
-        :func:`~repro.viewtree.builder.build_shard_plan`.
-    backend:
-        ``"auto"`` (process when ``fork`` exists and ``shards > 1``),
-        ``"serial"`` or ``"process"``.
-    use_view_index, adaptive_probe, use_columnar, use_fused:
-        Forwarded to every shard's :class:`FIVMEngine`.
-    columnar_transport:
-        Send deltas to process-backend workers in columnar wire form
-        (default) instead of pickled key dicts; ablation switch for
-        measuring the serialize savings. The serial backend hands
-        relation objects over directly either way.
+    config:
+        An :class:`~repro.config.EngineConfig` carrying every tunable —
+        shard count, backend, transport, shard attributes and the
+        per-shard F-IVM options. The legacy keyword arguments
+        (``shards=``, ``backend=``, ``use_columnar=``, …) still work
+        through a deprecation shim; when neither is given the engine
+        defaults to two shards.
 
     The coordinator's own ``stats`` count what was routed (batches,
     updates, tuples); per-shard maintenance counters are aggregated on
@@ -426,31 +726,37 @@ class ShardedEngine(MaintenanceEngine):
 
     strategy = "fivm-sharded"
 
+    #: Legacy constructor kwargs accepted by the deprecation shim.
+    LEGACY_OPTIONS = (
+        "shards", "shard_attrs", "backend", "transport",
+        "use_view_index", "adaptive_probe", "use_columnar", "use_fused",
+        "columnar_transport",
+    )
+
     def __init__(
         self,
         query: Query,
         order: Optional[VariableOrder] = None,
-        shards: int = 2,
-        shard_attrs: Optional[Tuple[str, ...]] = None,
-        backend: str = "auto",
-        use_view_index: bool = True,
-        adaptive_probe: bool = True,
-        use_columnar = "auto",
-        use_fused: bool = True,
-        columnar_transport: bool = True,
+        config: Optional[EngineConfig] = None,
+        **legacy,
     ):
         super().__init__(query)
-        if shards < 1:
-            raise EngineError("shards must be at least 1")
-        self.shards = int(shards)
+        config = resolve_engine_config(
+            config, legacy, "ShardedEngine", self.LEGACY_OPTIONS,
+            defaults={"shards": 2},
+        )
+        self.config = config
+        self.shards = config.shards
         self.order = order
-        self.use_view_index = bool(use_view_index)
-        self.adaptive_probe = bool(adaptive_probe)
-        self.use_columnar = use_columnar
-        self.use_fused = bool(use_fused)
-        self.columnar_transport = bool(columnar_transport)
+        self.use_view_index = config.use_view_index
+        self.adaptive_probe = config.adaptive_probe
+        self.use_columnar = config.use_columnar
+        self.use_fused = config.use_fused
+        self.columnar_transport = config.columnar_transport
         self.tree = build_view_tree(query, order=order)
-        self.shard_plan: ShardPlan = build_shard_plan(self.tree, attrs=shard_attrs)
+        self.shard_plan: ShardPlan = build_shard_plan(
+            self.tree, attrs=config.shard_attrs
+        )
         schemas = {
             name: query.schema_of(name).attributes
             for name in query.relation_names
@@ -464,7 +770,18 @@ class ShardedEngine(MaintenanceEngine):
                 f"shard plan routed {self.shard_plan.routed!r} but the "
                 f"router derived {self.router.routed!r}"
             )
-        self.backend_name = resolve_backend(backend, self.shards)
+        self.backend_name = resolve_backend(config.backend, self.shards)
+        self.transport_name = resolve_transport(
+            config.transport, self.backend_name
+        )
+        #: Views whose subtree touches broadcast relations only — exact
+        #: replicas on every shard, copied (not summed) by every merge.
+        view_relations = self._view_relations()
+        broadcast = set(self.router.broadcast)
+        self._broadcast_only_views = tuple(sorted(
+            name for name in self.tree.views
+            if view_relations[name] <= broadcast
+        ))
         self._backend = None
         self._was_closed = False
 
@@ -474,26 +791,32 @@ class ShardedEngine(MaintenanceEngine):
         # Capture plain locals (not self): the closure crosses the fork
         # boundary into every worker process.
         query, order = self.query, self.order
-        use_view_index, adaptive_probe = self.use_view_index, self.adaptive_probe
-        use_columnar = self.use_columnar
-        use_fused = self.use_fused
+        shard_config = EngineConfig(
+            use_view_index=self.use_view_index,
+            adaptive_probe=self.adaptive_probe,
+            use_columnar=self.use_columnar,
+            use_fused=self.use_fused,
+        )
 
         def factory() -> FIVMEngine:
-            return FIVMEngine(
-                query,
-                order=order,
-                use_view_index=use_view_index,
-                adaptive_probe=adaptive_probe,
-                use_columnar=use_columnar,
-                use_fused=use_fused,
-            )
+            return FIVMEngine(query, order=order, config=shard_config)
 
         return factory
+
+    def _make_transport(self) -> ShardTransport:
+        if self.transport_name == "shm":
+            return SharedMemoryTransport()
+        return PipeTransport(columnar=self.columnar_transport)
 
     def _make_backend(self, **seeds) -> None:
         factory = self._engine_factory()
         if self.backend_name == "process":
-            self._backend = _ProcessBackend(factory, **seeds)
+            self._backend = _ProcessBackend(
+                factory,
+                transport=self._make_transport(),
+                broadcast_views=self._broadcast_only_views,
+                **seeds,
+            )
         else:
             self._backend = _SerialBackend(factory, **seeds)
         self._was_closed = False
@@ -511,14 +834,18 @@ class ShardedEngine(MaintenanceEngine):
         if not delta.data:
             return
         self.stats.record_batch(delta)
-        if self.columnar_transport and self.backend_name == "process":
+        if (
+            self.backend_name == "process"
+            and self._backend.transport.wants_columnar
+        ):
             # Route and ship in columnar form: rows hash exactly as in
             # split(), but no per-shard key-tuple dict is built and the
-            # pipes carry columns instead of pickled dicts.
+            # data plane carries columns (pickled pipe lists or raw
+            # shared-memory blocks) instead of pickled dicts.
             for shard, sub in self.router.split_columnar(
                 relation_name, delta.columnar()
             ):
-                self._backend.apply_columnar(shard, relation_name, sub)
+                self._backend.apply_delta(shard, relation_name, sub)
             return
         for shard, sub_delta in self.router.split(relation_name, delta):
             self._backend.apply(shard, relation_name, sub_delta)
@@ -530,17 +857,18 @@ class ShardedEngine(MaintenanceEngine):
         attributes, and where they do collide (e.g. the empty root key of
         a full aggregate) the ring's addition combines them — the same
         operation maintenance itself uses, so the merged result is
-        exactly the unsharded engine's.
+        exactly the unsharded engine's. Under the shm transport the merge
+        already happened tree-wise across the workers and the backend
+        returns a single part; either way the fold structure is
+        :func:`pairwise_fold`, so the bits match across transports.
         """
         self._require_initialized()
         root = self.tree.root
         ring = self.tree.plan.ring
         merged = Relation(root.key, ring, name=root.name)
-        shard_data = self._backend.results()
-        for data in shard_data:
-            part = Relation(root.key, ring)
-            part.data = dict(data)
-            merged.add_inplace(part)
+        merged.data = _merge_root_states(
+            self._backend.results(), root.key, ring
+        )
         return merged
 
     # ------------------------------------------------------------------
@@ -650,6 +978,14 @@ class ShardedEngine(MaintenanceEngine):
     #: restore each other's checkpoints.
     state_payload = "views"
 
+    def config_provenance(self) -> Dict[str, Any]:
+        """The config recorded into exports, with backend/transport
+        resolved to what actually ran (``"auto"`` would say nothing)."""
+        data = self.config.to_dict()
+        data["backend"] = self.backend_name
+        data["transport"] = self.transport_name
+        return data
+
     def _export_payload(self) -> dict:
         """Gather per-shard view snapshots and merge them ring-additively.
 
@@ -658,7 +994,10 @@ class ShardedEngine(MaintenanceEngine):
         addition — multilinearity of the join makes the merged view equal
         the unsharded engine's, the same argument behind :meth:`result`.
         Views over broadcast relations only are replicated identically on
-        every shard, so one copy is taken instead of a sum.
+        every shard, so one copy is taken instead of a sum. Under the shm
+        transport the workers run this merge tree-wise among themselves
+        (same pairwise fold, same bits) and the backend returns the
+        single merged part.
 
         Worker failures during the gather surface with export context
         (same hardening as :meth:`publish`): the pipes are drained and
@@ -669,19 +1008,11 @@ class ShardedEngine(MaintenanceEngine):
         except EngineError as exc:
             raise EngineError(f"export_state failed: {exc}") from None
         ring = self.tree.plan.ring
-        view_relations = self._view_relations()
-        broadcast = set(self.router.broadcast)
-        views: Dict[str, Dict] = {}
-        for name, node in self.tree.views.items():
-            if view_relations[name] <= broadcast:
-                views[name] = dict(states[0]["views"][name])
-                continue
-            merged = Relation(node.key, ring, name=name)
-            for state in states:
-                part = Relation(node.key, ring)
-                part.data = state["views"][name]
-                merged.add_inplace(part)
-            views[name] = merged.data
+        keys = {name: node.key for name, node in self.tree.views.items()}
+        views = _merge_view_states(
+            [state["views"] for state in states],
+            keys, ring, set(self._broadcast_only_views),
+        )
         return {"views": views, "source_shards": self.shards}
 
     def _import_payload(self, state) -> None:
@@ -742,13 +1073,12 @@ class ShardedEngine(MaintenanceEngine):
         """Split global view materializations into per-shard slices."""
         ring = self.tree.plan.ring
         attrs = self.router.attrs
-        broadcast = set(self.router.broadcast)
-        view_relations = self._view_relations()
+        broadcast_only = set(self._broadcast_only_views)
         per_shard: List[Dict[str, Dict]] = [{} for _ in range(self.shards)]
         for node in self.tree.all_views():  # children before parents
             name = node.name
             data = views[name]
-            if view_relations[name] <= broadcast:
+            if name in broadcast_only:
                 # Identical replica on every shard (and a copy per shard:
                 # workers mutate their views independently afterwards).
                 for shard in range(self.shards):
@@ -810,8 +1140,11 @@ class ShardedEngine(MaintenanceEngine):
     def describe(self) -> str:
         """One-line summary for benchmark tables and logs."""
         cores = os.cpu_count() or 1
+        backend = self.backend_name
+        if backend == "process":
+            backend = f"process/{self.transport_name}"
         return (
-            f"{self.strategy} x{self.shards} ({self.backend_name}, "
+            f"{self.strategy} x{self.shards} ({backend}, "
             f"hash on {'/'.join(self.shard_plan.attrs)}, "
             f"routed={len(self.shard_plan.routed)}, "
             f"broadcast={len(self.shard_plan.broadcast)}, {cores} cores)"

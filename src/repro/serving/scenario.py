@@ -37,7 +37,7 @@ from repro.datasets import (
     toy_row_factories,
     toy_variable_order,
 )
-from repro.engine import FIVMEngine, ShardedEngine
+from repro.config import EngineConfig, create_engine
 from repro.engine.base import MaintenanceEngine
 from repro.errors import EngineError
 from repro.ml.discretize import binning_for_attribute
@@ -85,14 +85,21 @@ class ServingScenario:
             seed=self.seed if seed is None else seed,
         )
 
-    def engine(self, shards: int = 1, backend: str = "auto") -> MaintenanceEngine:
-        """An initialized engine maintaining the scenario's query."""
-        if shards > 1:
-            built: MaintenanceEngine = ShardedEngine(
-                self.query, order=self.order, shards=shards, backend=backend
-            )
-        else:
-            built = FIVMEngine(self.query, order=self.order)
+    def engine(
+        self,
+        shards: int = 1,
+        backend: str = "auto",
+        config: Optional[EngineConfig] = None,
+    ) -> MaintenanceEngine:
+        """An initialized engine maintaining the scenario's query.
+
+        ``config`` wins when given; the ``shards``/``backend`` shorthand
+        builds an equivalent :class:`EngineConfig` (no deprecation — the
+        scenario is the convenience layer).
+        """
+        if config is None:
+            config = EngineConfig(shards=shards, backend=backend)
+        built = create_engine(self.query, config=config, order=self.order)
         built.initialize(self.database)
         return built
 

@@ -20,6 +20,7 @@ from repro.engine import (
 )
 from repro.errors import EngineError
 from repro.rings import CountSpec, CovarSpec, Feature
+from repro.config import EngineConfig
 
 
 def fresh_engine(query=None):
@@ -269,7 +270,9 @@ class TestMemoryReport:
 
     def test_no_index_overhead_when_disabled(self):
         engine = FIVMEngine(
-            toy_count_query(), order=toy_variable_order(), use_view_index=False
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(use_view_index=False),
         )
         engine.initialize(toy_database())
         report = engine.memory_report()

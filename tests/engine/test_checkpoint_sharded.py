@@ -27,6 +27,7 @@ from repro.datasets import (
 from repro.engine import FIVMEngine, ShardedEngine, available_backends
 from repro.errors import EngineError
 from repro.rings import CountSpec
+from repro.config import EngineConfig
 
 
 def retailer_setup(insert_ratio=0.7, seed=5, total_updates=1200):
@@ -56,8 +57,7 @@ def sharded(shards, backend="serial"):
     return ShardedEngine(
         retailer_query(CountSpec()),
         order=retailer_variable_order(),
-        shards=shards,
-        backend=backend,
+        config=EngineConfig(shards=shards, backend=backend),
     )
 
 
@@ -190,14 +190,18 @@ class TestCovarPayloadRestore:
         reference.apply_stream(iter(events), batch_size=4)
 
         source = ShardedEngine(
-            query, order=toy_variable_order(), shards=source_shards, backend="serial"
+            query,
+            order=toy_variable_order(),
+            config=EngineConfig(shards=source_shards, backend="serial"),
         )
         with source:
             source.initialize(toy_database())
             source.apply_stream(iter(events[:half]), batch_size=4)
             state = pickle.loads(pickle.dumps(source.export_state()))
         target = ShardedEngine(
-            query, order=toy_variable_order(), shards=target_shards, backend="serial"
+            query,
+            order=toy_variable_order(),
+            config=EngineConfig(shards=target_shards, backend="serial"),
         )
         with target:
             target.import_state(state)
@@ -241,41 +245,53 @@ class TestProcessBackendRestore:
 class TestShardedSnapshotValidation:
     def test_rejects_snapshot_of_other_query(self):
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         with engine:
             engine.initialize(toy_database())
             state = engine.export_state()
         state["query"] = "Q_other"
         clone = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         with pytest.raises(EngineError, match="Q_other"):
             clone.import_state(state)
 
     def test_rejects_view_mismatch(self):
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         with engine:
             engine.initialize(toy_database())
             state = engine.export_state()
         state["views"]["V_extra"] = {}
         clone = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         with pytest.raises(EngineError, match="V_extra"):
             clone.import_state(state)
 
     def test_import_without_prior_initialize(self):
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         with engine:
             engine.initialize(toy_database())
             state = engine.export_state()
         fresh = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=3, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=3, backend="serial"),
         )
         with fresh:
             fresh.import_state(state)

@@ -24,6 +24,7 @@ from repro.engine.base import EngineStatistics
 from repro.engine.sharded import available_backends
 from repro.errors import EngineError
 from repro.rings import CountSpec, CovarSpec
+from repro.config import EngineConfig
 
 R_SCHEMA = ("A", "B")
 S_SCHEMA = ("A", "C", "D")
@@ -67,24 +68,27 @@ class TestColumnarPathSelection:
         unfused = FIVMEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
-            use_fused=False,
+            config=EngineConfig(use_fused=False),
         )
         assert not unfused._columnar_paths
         forced = FIVMEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
-            use_columnar=True,
-            use_fused=False,
+            config=EngineConfig(use_columnar=True, use_fused=False),
         )
         assert forced._columnar_paths
 
     def test_disabled_by_flag_and_by_no_view_index(self):
         off = FIVMEngine(
-            covar_query(), order=retailer_variable_order(), use_columnar=False
+            covar_query(),
+            order=retailer_variable_order(),
+            config=EngineConfig(use_columnar=False),
         )
         assert not off._columnar_paths
         no_index = FIVMEngine(
-            covar_query(), order=retailer_variable_order(), use_view_index=False
+            covar_query(),
+            order=retailer_variable_order(),
+            config=EngineConfig(use_view_index=False),
         )
         assert not no_index._columnar_paths
 
@@ -97,7 +101,7 @@ class TestColumnarPathSelection:
 
     def test_invalid_flag_rejected(self):
         with pytest.raises(EngineError, match="use_columnar"):
-            FIVMEngine(covar_query(), use_columnar="yes")
+            FIVMEngine(covar_query(), config=EngineConfig(use_columnar="yes"))
 
     def test_small_batches_stay_on_per_tuple_path(self):
         engine = FIVMEngine(covar_query(), order=retailer_variable_order())
@@ -119,7 +123,7 @@ class TestColumnarEquivalence:
             engine = FIVMEngine(
                 covar_query(),
                 order=retailer_variable_order(),
-                use_columnar=use_columnar,
+                config=EngineConfig(use_columnar=use_columnar),
             )
             engine.initialize(database)
             engine.apply_stream(iter(events), batch_size=batch_size)
@@ -139,7 +143,7 @@ class TestColumnarEquivalence:
         columnar = FIVMEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
-            use_columnar=True,
+            config=EngineConfig(use_columnar=True),
         )
         oracle = NaiveEngine(
             retailer_query(CountSpec()), order=retailer_variable_order()
@@ -196,7 +200,7 @@ class TestColumnarEquivalence:
             clone = FIVMEngine(
                 covar_query(),
                 order=retailer_variable_order(),
-                use_columnar=use_columnar,
+                config=EngineConfig(use_columnar=use_columnar),
             )
             clone.import_state(pickle.loads(pickle.dumps(snapshot)))
             clone.apply_stream(iter(events[150:]), batch_size=50)
@@ -221,7 +225,9 @@ class TestColumnarWithToyQueries:
 
     def engines(self):
         columnar = FIVMEngine(
-            toy_count_query(), order=toy_variable_order(), use_columnar=True
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(use_columnar=True),
         )
         oracle = NaiveEngine(toy_count_query(), order=toy_variable_order())
         for engine in (columnar, oracle):
@@ -268,9 +274,7 @@ class TestColumnarTransport:
                 engine = ShardedEngine(
                     covar_query(),
                     order=retailer_variable_order(),
-                    shards=shards,
-                    backend=backend,
-                    columnar_transport=transport,
+                    config=EngineConfig(shards=shards, backend=backend, columnar_transport=transport),
                 )
                 try:
                     engine.initialize(database)
@@ -294,9 +298,7 @@ class TestColumnarTransport:
         engine = ShardedEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
-            shards=2,
-            backend=backend,
-            columnar_transport=True,
+            config=EngineConfig(shards=2, backend=backend, columnar_transport=True),
         )
         try:
             engine.initialize(database)

@@ -41,6 +41,7 @@ from repro.engine.compile import (
 )
 from repro.rings import CountSpec, CovarSpec
 from repro.rings.cofactor import CofactorLayout, NumericCofactorRing
+from repro.config import EngineConfig
 
 R_SCHEMA = ("A", "B")
 
@@ -106,7 +107,9 @@ class TestFusedBitEquality:
             ("per_tuple", {"use_fused": False, "use_columnar": False}),
         ):
             engine = FIVMEngine(
-                query_of(), order=retailer_variable_order(), **kwargs
+                query_of(),
+                order=retailer_variable_order(),
+                config=EngineConfig(**kwargs),
             )
             engine.initialize(database)
             engine.apply_stream(iter(events), batch_size=batch_size)
@@ -134,8 +137,7 @@ class TestFusedBitEquality:
         interp = FIVMEngine(
             covar_query(),
             order=retailer_variable_order(),
-            use_fused=False,
-            use_columnar=True,
+            config=EngineConfig(use_fused=False, use_columnar=True),
         )
         for engine in (fused, interp):
             engine.initialize(database)
@@ -245,8 +247,7 @@ class TestColumnarMirror:
         oracle = FIVMEngine(
             toy_count_query(),
             order=toy_variable_order(),
-            use_fused=False,
-            use_columnar=False,
+            config=EngineConfig(use_fused=False, use_columnar=False),
         )
         oracle.initialize(toy_database())
         oracle.apply("R", inserts(R_SCHEMA, rows))

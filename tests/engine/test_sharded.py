@@ -18,6 +18,7 @@ from repro.datasets import (
 from repro.engine import FIVMEngine, ShardedEngine, available_backends
 from repro.errors import EngineError
 from repro.rings import CountSpec
+from repro.config import EngineConfig
 
 
 def retailer_setup(insert_ratio=0.7, seed=5, total_updates=1200):
@@ -54,8 +55,7 @@ class TestShardDeterminism:
         engine = ShardedEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
-            shards=shards,
-            backend="serial",
+            config=EngineConfig(shards=shards, backend="serial"),
         )
         with engine:
             engine.initialize(database)
@@ -76,8 +76,7 @@ class TestShardDeterminism:
             engine = ShardedEngine(
                 retailer_query(CountSpec()),
                 order=retailer_variable_order(),
-                shards=shards,
-                backend="serial",
+                config=EngineConfig(shards=shards, backend="serial"),
             )
             with engine:
                 engine.initialize(database)
@@ -92,8 +91,7 @@ class TestShardDeterminism:
             engine = ShardedEngine(
                 retailer_query(CountSpec()),
                 order=retailer_variable_order(),
-                shards=shards,
-                backend="serial",
+                config=EngineConfig(shards=shards, backend="serial"),
             )
             with engine:
                 engine.initialize(database)
@@ -118,8 +116,7 @@ class TestProcessBackend:
         engine = ShardedEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
-            shards=2,
-            backend="process",
+            config=EngineConfig(shards=2, backend="process"),
         )
         with engine:
             engine.initialize(database)
@@ -136,7 +133,9 @@ class TestProcessBackend:
         reference = FIVMEngine(query, order=toy_variable_order())
         reference.initialize(toy_database())
         engine = ShardedEngine(
-            query, order=toy_variable_order(), shards=2, backend="process"
+            query,
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="process"),
         )
         with engine:
             engine.initialize(toy_database())
@@ -155,8 +154,7 @@ class TestProcessBackendFailurePaths:
         engine = ShardedEngine(
             toy_count_query(),
             order=toy_variable_order(),
-            shards=shards,
-            backend="process",
+            config=EngineConfig(shards=shards, backend="process"),
         )
         engine.initialize(toy_database())
         return engine
@@ -212,7 +210,9 @@ class TestProcessBackendFailurePaths:
 class TestShardedEngineBasics:
     def test_toy_query_shards(self):
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         with engine:
             engine.initialize(toy_database())
@@ -225,14 +225,18 @@ class TestShardedEngineBasics:
 
     def test_requires_initialize(self):
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         with pytest.raises(EngineError):
             engine.apply("R", Relation(("A", "B"), name="R"))
 
     def test_close_then_reinitialize(self):
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         engine.initialize(toy_database())
         engine.close()
@@ -244,9 +248,12 @@ class TestShardedEngineBasics:
 
     def test_rejects_bad_configuration(self):
         with pytest.raises(EngineError):
-            ShardedEngine(toy_count_query(), shards=0)
+            ShardedEngine(toy_count_query(), config=EngineConfig(shards=0))
         with pytest.raises(EngineError):
-            ShardedEngine(toy_count_query(), shards=2, backend="nope")
+            ShardedEngine(
+                toy_count_query(),
+                config=EngineConfig(shards=2, backend="nope"),
+            )
 
     def test_memory_report_sums_shards(self):
         database, _ = retailer_setup()
@@ -257,8 +264,7 @@ class TestShardedEngineBasics:
         engine = ShardedEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
-            shards=3,
-            backend="serial",
+            config=EngineConfig(shards=3, backend="serial"),
         )
         with engine:
             engine.initialize(database)
@@ -273,7 +279,9 @@ class TestShardedEngineBasics:
 
     def test_closed_engine_raises_descriptive_error(self):
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         engine.initialize(toy_database())
         engine.close()
@@ -292,7 +300,9 @@ class TestShardedEngineBasics:
         # Regression: ops on a closed backend used to die with a bare
         # IndexError from the emptied connection/engine list.
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         engine.initialize(toy_database())
         backend = engine._backend
@@ -312,8 +322,7 @@ class TestShardedEngineBasics:
         engine = ShardedEngine(
             retailer_query(CountSpec()),
             order=retailer_variable_order(),
-            shards=2,
-            backend="serial",
+            config=EngineConfig(shards=2, backend="serial"),
         )
         text = engine.describe()
         assert "locn" in text and "x2" in text

@@ -1,0 +1,302 @@
+"""Shard transports: shm/pipe equivalence, fault paths, segment hygiene."""
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from multiprocessing.connection import Connection
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, create_engine, inserts
+from repro.checkpoint import restore_checkpoint, write_checkpoint
+from repro.data.columnar import ColumnarDelta, block_views, decode_blocks
+from repro.datasets import (
+    RetailerConfig,
+    UpdateStream,
+    generate_retailer,
+    regression_features,
+    retailer_query,
+    retailer_row_factories,
+    retailer_variable_order,
+    toy_count_query,
+    toy_database,
+    toy_variable_order,
+)
+from repro.engine import FIVMEngine
+from repro.engine.sharded import available_backends
+from repro.engine.transport import (
+    SharedMemoryTransport,
+    active_shm_segments,
+    available_transports,
+    resolve_transport,
+)
+from repro.errors import EngineError
+from repro.rings import CovarSpec
+
+needs_process = pytest.mark.skipif(
+    "process" not in available_backends(), reason="fork unavailable"
+)
+needs_shm = pytest.mark.skipif(
+    "shm" not in available_transports(), reason="shared memory unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = set(active_shm_segments())
+    yield
+    leaked = set(active_shm_segments()) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def retailer_covar_setup(total_updates=400, insert_ratio=0.6, seed=7):
+    config = RetailerConfig(
+        locations=5, dates=6, items=18, inventory_rows=220, seed=seed
+    )
+    database = generate_retailer(config)
+    stream = UpdateStream(
+        database,
+        retailer_row_factories(config, database),
+        targets=("Inventory", "Weather"),
+        batch_size=40,
+        insert_ratio=insert_ratio,
+        seed=seed,
+    )
+    features, _label = regression_features()
+    return database, retailer_query(CovarSpec(features)), list(
+        stream.tuples(total_updates)
+    )
+
+
+def toy_engine(transport, shards=2):
+    engine = create_engine(
+        toy_count_query(),
+        config=EngineConfig(shards=shards, backend="process", transport=transport),
+        order=toy_variable_order(),
+    )
+    engine.initialize(toy_database())
+    return engine
+
+
+def spread_delta(rows=16, start=0):
+    """A delta whose keys hash onto every shard."""
+    return inserts(
+        ("A", "B"), [(f"a{start + i}", i % 5 + 1) for i in range(rows)]
+    )
+
+
+class TestResolution:
+    def test_non_process_backends_have_no_data_plane(self):
+        assert resolve_transport("auto", "serial") == "none"
+        assert resolve_transport("shm", "serial") == "none"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(EngineError, match="unknown shard transport"):
+            resolve_transport("rdma", "process")
+
+    def test_auto_prefers_shm_when_available(self):
+        resolved = resolve_transport("auto", "process")
+        assert resolved == ("shm" if "shm" in available_transports() else "pipe")
+
+
+@needs_process
+@needs_shm
+class TestTransportEquivalence:
+    """serial, process/pipe and process/shm are bit-exact on COVAR."""
+
+    def test_retailer_covar_insert_delete_streams_agree(self):
+        database, query, events = retailer_covar_setup()
+        results = {}
+        for backend, transport in (
+            ("serial", "auto"), ("process", "pipe"), ("process", "shm"),
+        ):
+            engine = create_engine(
+                query,
+                config=EngineConfig(
+                    shards=2, backend=backend, transport=transport
+                ),
+                order=retailer_variable_order(),
+            )
+            with engine:
+                engine.initialize(database)
+                engine.apply_stream(iter(events), batch_size=50)
+                results[(backend, transport)] = engine.result()
+        reference = results[("serial", "auto")]
+        assert results[("process", "pipe")] == reference
+        assert results[("process", "shm")] == reference
+
+    def test_shm_checkpoint_round_trips_into_unsharded_engine(self, tmp_path):
+        database, query, events = retailer_covar_setup(total_updates=200)
+        path = str(tmp_path / "covar.fivm")
+        engine = create_engine(
+            query,
+            config=EngineConfig(shards=2, backend="process", transport="shm"),
+            order=retailer_variable_order(),
+        )
+        with engine:
+            engine.initialize(database)
+            engine.apply_stream(iter(events), batch_size=40)
+            expected = engine.result()
+            write_checkpoint(engine, path)
+        restored = FIVMEngine(query, order=retailer_variable_order())
+        restore_checkpoint(restored, path)
+        assert restored.result() == expected
+
+    def test_shm_publish_matches_pipe_snapshot(self):
+        snapshots = {}
+        for transport in ("pipe", "shm"):
+            engine = toy_engine(transport)
+            with engine:
+                engine.apply("R", spread_delta())
+                engine.publish(event_offset=16)
+                snapshot = engine.latest_snapshot()
+                snapshots[transport] = (snapshot.epoch, snapshot.result)
+        assert snapshots["pipe"] == snapshots["shm"]
+
+
+@needs_process
+@needs_shm
+class TestControlPlane:
+    def test_pipes_carry_only_control_messages(self, monkeypatch):
+        """With shm the payload never rides the pipe: every coordinator
+        pipe message stays tiny even for deltas far larger than that."""
+        sent = []
+        original = Connection.send
+
+        def spy(self, obj):
+            sent.append(len(pickle.dumps(obj)))
+            return original(self, obj)
+
+        monkeypatch.setattr(Connection, "send", spy)
+        engine = toy_engine("shm")
+        with engine:
+            big = spread_delta(rows=5000)
+            assert len(pickle.dumps(big.data)) > 50_000
+            engine.apply("R", big)
+            assert engine.result().data == {(): 6}
+        assert sent, "no control messages observed"
+        assert max(sent) < 4096, f"payload leaked onto the pipe: {max(sent)}B"
+
+    def test_block_views_are_zero_copy(self):
+        delta = ColumnarDelta.from_relation(spread_delta(rows=64))
+        blocks = delta.to_blocks()
+        buf = bytearray(blocks.nbytes + 128)
+        layout = blocks.write_into(memoryview(buf), 128)
+        raw = np.frombuffer(buf, dtype=np.uint8)
+        for view in block_views(memoryview(buf), layout):
+            if isinstance(view, np.ndarray):
+                assert np.shares_memory(view, raw)
+        decoded = decode_blocks(delta.schema, memoryview(buf), layout, "R")
+        assert decoded.to_relation().data == spread_delta(rows=64).data
+
+
+@needs_process
+@needs_shm
+class TestGrowthPaths:
+    def test_down_ring_grows_for_oversized_deltas(self, monkeypatch):
+        monkeypatch.setattr(SharedMemoryTransport, "DOWN_SLOT_BYTES", 512)
+        engine = toy_engine("shm")
+        with engine:
+            engine.apply("R", spread_delta(rows=400))
+            assert engine.result().data == {(): 6}
+
+    def test_up_blocks_grow_through_overflow_retry(self, monkeypatch):
+        monkeypatch.setattr(SharedMemoryTransport, "UP_BYTES", 128)
+        engine = toy_engine("shm", shards=4)
+        with engine:
+            engine.apply("R", spread_delta(rows=200))
+            expected = toy_engine("pipe", shards=2)
+            with expected:
+                expected.apply("R", spread_delta(rows=200))
+                assert engine.result() == expected.result()
+            state = engine.export_state()
+            assert state["views"], "export crossed the grown up-blocks"
+
+
+@needs_process
+@needs_shm
+class TestFaultPaths:
+    def test_worker_death_closes_backend_and_unlinks(self):
+        before = set(active_shm_segments())
+        engine = toy_engine("shm")
+        mine = set(active_shm_segments()) - before
+        assert mine, "shm transport created no segments"
+        victim = engine._backend.processes[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        with pytest.raises(EngineError, match="shard 0 worker died"):
+            engine.result()
+        # The backend closed itself on the dead worker: segments are gone
+        # and further use reports the closed state, not a hang.
+        assert not (set(active_shm_segments()) & mine)
+        with pytest.raises(EngineError, match="closed"):
+            engine.result()
+        engine.close()
+
+    def test_worker_killed_mid_batch_raises_descriptively(self):
+        engine = toy_engine("shm")
+        victim = engine._backend.processes[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        with pytest.raises(EngineError, match="shard 0"):
+            # Enough traffic to fill the dead shard's double-buffered ring:
+            # the send path must report the death, not block on the slot.
+            for start in range(0, 800, 16):
+                engine.apply("R", spread_delta(start=start))
+            engine.result()
+        engine.close()
+
+    def test_double_close_is_idempotent(self):
+        engine = toy_engine("shm")
+        engine.apply("R", spread_delta())
+        assert engine.result().data == {(): 6}
+        engine.close()
+        engine.close()
+        transport = SharedMemoryTransport()
+        transport.setup(2)
+        transport.close()
+        transport.close()
+
+    def test_coordinator_crash_leaves_no_segments_behind(self, tmp_path):
+        """os._exit with live segments: the resource tracker sweeps them."""
+        code = """
+import os, sys
+from repro import EngineConfig, create_engine, inserts
+from repro.datasets import toy_count_query, toy_database, toy_variable_order
+
+engine = create_engine(
+    toy_count_query(),
+    config=EngineConfig(shards=2, backend="process", transport="shm"),
+    order=toy_variable_order(),
+)
+engine.initialize(toy_database())
+engine.apply("R", inserts(("A", "B"), [(f"a{i}", i % 5 + 1) for i in range(16)]))
+assert engine.result().data == {(): 6}
+from repro.engine.transport import active_shm_segments
+assert active_shm_segments()
+os._exit(1)
+"""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 1, proc.stderr
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if not active_shm_segments():
+                break
+            time.sleep(0.1)
+        assert not active_shm_segments(), (
+            "resource tracker did not sweep crashed coordinator's segments"
+        )

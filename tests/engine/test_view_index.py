@@ -24,6 +24,7 @@ from repro.query.query import Query
 from repro.query.variable_order import VariableOrder, VONode
 from repro.rings import CountSpec
 from repro.viewtree import build_probe_plan
+from repro.config import EngineConfig
 
 R_SCHEMA = ("A", "B")
 S_SCHEMA = ("A", "C", "D")
@@ -34,7 +35,9 @@ def toy_engines():
     engines = []
     for flag in (True, False):
         engine = FIVMEngine(
-            toy_count_query(), order=toy_variable_order(), use_view_index=flag
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(use_view_index=flag),
         )
         engine.initialize(toy_database())
         engines.append(engine)
@@ -178,7 +181,7 @@ class TestIndexedMaintenance:
         results = []
         for flag in (True, False):
             for batch_size in (1, 64):
-                engine = FIVMEngine(query, order=order, use_view_index=flag)
+                engine = FIVMEngine(query, order=order, config=EngineConfig(use_view_index=flag))
                 engine.initialize(database)
                 engine.apply_stream(iter(events), batch_size=batch_size)
                 results.append(engine.result())
@@ -213,7 +216,11 @@ class TestIndexedMaintenance:
                 Relation.from_tuples(("A", "D"), [("a1", 7)], name="T"),
             ]
         )
-        engine = FIVMEngine(query, order=order, use_view_index=use_view_index)
+        engine = FIVMEngine(
+            query,
+            order=order,
+            config=EngineConfig(use_view_index=use_view_index),
+        )
         engine.initialize(database)
         oracle = NaiveEngine(query, order=order)
         oracle.initialize(database)
@@ -230,7 +237,11 @@ class TestIndexedMaintenance:
     def test_nonscalar_ring_maintenance_with_indexes(self):
         query = toy_covar_categorical_query()
         indexed_e = FIVMEngine(query, order=toy_variable_order())
-        plain_e = FIVMEngine(query, order=toy_variable_order(), use_view_index=False)
+        plain_e = FIVMEngine(
+            query,
+            order=toy_variable_order(),
+            config=EngineConfig(use_view_index=False),
+        )
         for engine in (indexed_e, plain_e):
             engine.initialize(toy_database())
         steps = [
@@ -247,15 +258,17 @@ class TestIndexedMaintenance:
 class TestCheckpointWithIndexes:
     def snapshot_roundtrip(self, use_view_index):
         engine = FIVMEngine(
-            toy_count_query(), order=toy_variable_order(),
-            use_view_index=use_view_index,
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(use_view_index=use_view_index),
         )
         engine.initialize(toy_database())
         engine.apply("R", inserts(R_SCHEMA, [("a1", 5)]))
         snapshot = engine.export_state()
         clone = FIVMEngine(
-            toy_count_query(), order=toy_variable_order(),
-            use_view_index=use_view_index,
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(use_view_index=use_view_index),
         )
         clone.import_state(snapshot)
         return engine, clone
@@ -312,7 +325,9 @@ class TestCheckpointWithIndexes:
     def test_cross_mode_snapshot_compatible(self):
         """A snapshot from a no-index engine restores into an indexed one."""
         plain = FIVMEngine(
-            toy_count_query(), order=toy_variable_order(), use_view_index=False
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(use_view_index=False),
         )
         plain.initialize(toy_database())
         plain.apply("R", inserts(R_SCHEMA, [("a2", 9)]))
@@ -333,7 +348,9 @@ class TestAdaptiveProbeVsScan:
         # out so large count-ring batches still exercise it.
         kwargs.setdefault("use_fused", False)
         engine = FIVMEngine(
-            toy_count_query(), order=toy_variable_order(), **kwargs
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(**kwargs),
         )
         engine.initialize(toy_database())
         return engine

@@ -20,6 +20,7 @@ from repro.engine import (
 )
 from repro.errors import EngineError
 from repro.serving import SnapshotStore
+from repro.config import EngineConfig
 
 
 def toy_events(total=400, batch_size=40, seed=3):
@@ -108,8 +109,7 @@ class TestPublishContract:
         engine = ShardedEngine(
             toy_count_query(),
             order=toy_variable_order(),
-            shards=2,
-            backend="serial",
+            config=EngineConfig(shards=2, backend="serial"),
         )
         with engine:
             engine.initialize(database)
@@ -268,8 +268,7 @@ class TestShardedPublishFailurePaths:
         engine = ShardedEngine(
             toy_count_query(),
             order=toy_variable_order(),
-            shards=shards,
-            backend=backend,
+            config=EngineConfig(shards=shards, backend=backend),
         )
         engine.initialize(toy_database())
         return engine

@@ -23,6 +23,7 @@ from repro.datasets import (
 )
 from repro.engine import FIVMEngine, ShardedEngine
 from repro.errors import CheckpointError, EngineError
+from repro.config import EngineConfig
 
 
 def fresh_engine(query=None):
@@ -177,7 +178,9 @@ class TestCheckpointSink:
 
     def test_sink_with_sharded_engine(self, tmp_path):
         engine = ShardedEngine(
-            toy_count_query(), order=toy_variable_order(), shards=2, backend="serial"
+            toy_count_query(),
+            order=toy_variable_order(),
+            config=EngineConfig(shards=2, backend="serial"),
         )
         path = tmp_path / "sharded.ckpt"
         with engine:

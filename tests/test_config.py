@@ -1,0 +1,212 @@
+"""EngineConfig: validation, factory, legacy-kwarg shim, CLI derivation."""
+
+import warnings
+
+import pytest
+
+from repro import EngineConfig, create_engine
+from repro.checkpoint import read_checkpoint_info, write_checkpoint
+from repro.cli import build_parser
+from repro.config import engine_config_from_args
+from repro.datasets import toy_count_query, toy_database, toy_variable_order
+from repro.engine import FIVMEngine, ShardedEngine
+from repro.errors import EngineError
+
+
+class TestEngineConfigValidation:
+    def test_defaults_build(self):
+        config = EngineConfig()
+        assert config.shards == 1
+        assert config.backend == "auto"
+        assert config.transport == "auto"
+        assert config.use_columnar == "auto"
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(EngineError, match="at least 1"):
+            EngineConfig(shards=0)
+
+    def test_shards_must_be_int(self):
+        with pytest.raises(EngineError, match="shards must be an int"):
+            EngineConfig(shards="many")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EngineError, match="unknown shard backend"):
+            EngineConfig(backend="threads")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(EngineError, match="unknown shard transport"):
+            EngineConfig(transport="rdma")
+
+    def test_use_columnar_tristate(self):
+        for value in ("auto", True, False):
+            assert EngineConfig(use_columnar=value).use_columnar == value
+        with pytest.raises(EngineError, match="use_columnar"):
+            EngineConfig(use_columnar="yes")
+
+    def test_shard_attrs_normalized_to_tuple(self):
+        config = EngineConfig(shard_attrs=["locn", "dateid"])
+        assert config.shard_attrs == ("locn", "dateid")
+
+    def test_replace_revalidates(self):
+        config = EngineConfig(shards=2)
+        assert config.replace(shards=4).shards == 4
+        with pytest.raises(EngineError):
+            config.replace(backend="bogus")
+
+    def test_dict_round_trip(self):
+        config = EngineConfig(
+            shards=3, backend="serial", shard_attrs=("locn",), use_fused=False
+        )
+        data = config.to_dict()
+        assert data["shard_attrs"] == ["locn"]  # primitives only
+        assert EngineConfig.from_dict(data) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(EngineError, match="unknown EngineConfig field"):
+            EngineConfig.from_dict({"shards": 2, "turbo": True})
+
+    def test_describe_mentions_topology(self):
+        text = EngineConfig(shards=2, transport="shm").describe()
+        assert "shards=2" in text and "transport=shm" in text
+
+
+class TestCreateEngine:
+    def test_unsharded_builds_fivm(self):
+        engine = create_engine(toy_count_query(), config=EngineConfig())
+        assert isinstance(engine, FIVMEngine)
+        assert engine.config == EngineConfig()
+
+    def test_sharded_builds_coordinator(self):
+        engine = create_engine(
+            toy_count_query(),
+            config=EngineConfig(shards=2, backend="serial"),
+            order=toy_variable_order(),
+        )
+        assert isinstance(engine, ShardedEngine)
+        assert engine.shards == 2
+
+    def test_none_config_is_defaults(self):
+        assert isinstance(create_engine(toy_count_query()), FIVMEngine)
+
+    def test_config_type_checked(self):
+        with pytest.raises(EngineError, match="must be an EngineConfig"):
+            create_engine(toy_count_query(), config={"shards": 2})
+
+
+class TestLegacyKwargShim:
+    def test_fivm_kwargs_warn_once_and_apply(self):
+        with pytest.warns(DeprecationWarning, match="config=repro.EngineConfig"):
+            engine = FIVMEngine(toy_count_query(), use_view_index=False)
+        assert engine.config.use_view_index is False
+
+    def test_sharded_kwargs_warn_and_keep_two_shard_default(self):
+        with pytest.warns(DeprecationWarning):
+            engine = ShardedEngine(toy_count_query(), backend="serial")
+        assert engine.shards == 2  # historical ShardedEngine default
+
+    def test_config_constructor_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            FIVMEngine(toy_count_query(), config=EngineConfig(use_fused=False))
+
+    def test_config_plus_kwargs_rejected(self):
+        with pytest.raises(EngineError, match="not both"):
+            FIVMEngine(
+                toy_count_query(), config=EngineConfig(), use_view_index=False
+            )
+
+    def test_unknown_kwarg_is_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            FIVMEngine(toy_count_query(), shards=2)
+
+    def test_sharded_rejects_fivm_only_typo(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            ShardedEngine(toy_count_query(), profile_stages=True)
+
+
+class TestCliDerivation:
+    """Old and new flag spellings encode the same EngineConfig."""
+
+    def _config(self, argv):
+        return engine_config_from_args(build_parser().parse_args(argv))
+
+    def test_bench_defaults(self):
+        assert self._config(["bench"]) == EngineConfig()
+
+    def test_old_and_new_spellings_agree(self):
+        old = self._config(
+            [
+                "bench", "--shards", "2", "--shard-backend", "serial",
+                "--no-view-index", "--no-columnar", "--no-fused", "--profile",
+            ]
+        )
+        new = self._config(
+            [
+                "bench", "--engine-shards", "2", "--engine-backend", "serial",
+                "--no-engine-view-index", "--no-engine-columnar",
+                "--no-engine-fused", "--engine-profile",
+            ]
+        )
+        assert old == new
+        assert old.shards == 2 and old.backend == "serial"
+        assert old.use_view_index is False and old.use_fused is False
+        assert old.use_columnar is False and old.columnar_transport is False
+        assert old.profile_stages is True
+
+    def test_transport_and_shard_attrs_flags(self):
+        config = self._config(
+            [
+                "bench", "--engine-transport", "pipe",
+                "--engine-shard-attrs", "locn,dateid",
+            ]
+        )
+        assert config.transport == "pipe"
+        assert config.shard_attrs == ("locn", "dateid")
+
+    def test_columnar_on_forces_columnar(self):
+        config = self._config(["bench", "--columnar"])
+        assert config.use_columnar is True and config.columnar_transport is True
+
+    def test_serve_and_checkpoint_share_the_namespace(self):
+        for argv in (
+            ["serve", "--shards", "3"],
+            ["checkpoint", "save", "x.fivm", "--shards", "3"],
+            ["checkpoint", "load", "x.fivm", "--engine-shards", "3"],
+        ):
+            assert self._config(argv).shards == 3
+
+
+class TestConfigProvenance:
+    def test_export_state_records_config(self):
+        engine = create_engine(
+            toy_count_query(), config=EngineConfig(use_fused=False)
+        )
+        engine.initialize(toy_database())
+        state = engine.export_state()
+        assert state["config"]["use_fused"] is False
+        assert EngineConfig.from_dict(state["config"]).use_fused is False
+
+    def test_sharded_provenance_records_resolved_names(self):
+        engine = create_engine(
+            toy_count_query(),
+            config=EngineConfig(shards=2, backend="serial"),
+            order=toy_variable_order(),
+        )
+        with engine:
+            engine.initialize(toy_database())
+            config = engine.export_state()["config"]
+        assert config["shards"] == 2
+        assert config["backend"] == "serial"  # resolved, not "auto"
+
+    def test_checkpoint_header_round_trips_config(self, tmp_path):
+        path = str(tmp_path / "toy.fivm")
+        engine = create_engine(
+            toy_count_query(),
+            config=EngineConfig(use_view_index=False, use_fused=False),
+        )
+        engine.initialize(toy_database())
+        write_checkpoint(engine, path)
+        info = read_checkpoint_info(path)
+        assert info.config["use_view_index"] is False
+        restored = EngineConfig.from_dict(info.config)
+        assert restored.use_fused is False
