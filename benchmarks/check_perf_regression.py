@@ -54,6 +54,8 @@ def config_key(benchmark: str, record: Dict) -> str:
         "endpoint",
         "readers",
         "stat",
+        "window",
+        "decay",
     ):
         if field in record and record[field] is not None:
             parts.append(f"{field}={record[field]}")

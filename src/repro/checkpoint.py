@@ -30,6 +30,24 @@ layer: sharded snapshots are exported in the global normal form (see
 :class:`~repro.engine.sharded.ShardedEngine`), so a checkpoint written by
 a 4-shard engine restores into a 2-shard, 1-shard or unsharded engine
 unchanged.
+
+**Incremental chains.** Between two checkpoints a high-rate stream
+usually touches a small fraction of the view entries, so rewriting every
+payload is wasted bytes. ``write_checkpoint(..., base=(info, state))``
+persists only the delta since ``base`` — per view, the entries that
+changed (``set``) and the keys that vanished (``drop``) — under a chain
+header: a ``chain_id`` shared by the whole chain, a ``chain_seq``
+position and the ``base_file`` it applies on top of. Maintenance never
+mutates stored payloads in place (it replaces them), so an unchanged
+entry is recognized by object identity and the diff is cheap.
+:func:`load_checkpoint_chain` (and :func:`restore_checkpoint`, which
+uses it) follows ``base_file`` links back to the full snapshot,
+validates every link's chain id and sequence, and replays the deltas in
+order — the reconstructed state is byte-for-byte the state a full
+checkpoint at the head would have held, so chains inherit shard-count
+portability unchanged. :func:`checkpoint_sink` alternates full and
+incremental writes (``full_every``) and :func:`resolve_chain_head` finds
+the newest restorable file of a chain on disk.
 """
 
 from __future__ import annotations
@@ -38,9 +56,10 @@ import os
 import pickle
 import tempfile
 import time
+import uuid
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import CheckpointError
 
@@ -50,6 +69,9 @@ __all__ = [
     "read_checkpoint",
     "read_checkpoint_info",
     "restore_checkpoint",
+    "load_checkpoint_chain",
+    "resolve_chain_head",
+    "remove_stale_increments",
     "checkpoint_sink",
 ]
 
@@ -84,15 +106,26 @@ class CheckpointInfo:
     #: :meth:`EngineConfig.to_dict` provenance recorded by the exporting
     #: engine (empty for checkpoints written before configs existed).
     config: Dict[str, Any] = field(default_factory=dict)
+    #: Incremental-chain header: whether this file holds a delta, the id
+    #: shared by its chain, its position in the chain (0 = the full
+    #: snapshot) and the file the delta applies on top of (basename,
+    #: resolved against this file's directory).
+    incremental: bool = False
+    chain_id: str = ""
+    chain_seq: int = 0
+    base_file: str = ""
 
     def describe(self) -> str:
         """One-line summary for CLI output and logs."""
         ratio = self.state_bytes / self.file_bytes if self.file_bytes else 0.0
+        chain = ""
+        if self.incremental:
+            chain = f" [incremental #{self.chain_seq} on {self.base_file}]"
         return (
             f"{self.path}: query={self.query!r} strategy={self.strategy} "
             f"payload={self.payload} v{self.format_version} "
             f"{self.file_bytes} bytes on disk ({self.state_bytes} raw, "
-            f"{self.compression}, {ratio:.1f}x)"
+            f"{self.compression}, {ratio:.1f}x){chain}"
         )
 
 
@@ -102,6 +135,8 @@ def write_checkpoint(
     compression: str = "zlib",
     level: int = 6,
     metadata: Optional[Mapping[str, Any]] = None,
+    base: Optional[Tuple[CheckpointInfo, Mapping[str, Any]]] = None,
+    state: Optional[Dict[str, Any]] = None,
 ) -> CheckpointInfo:
     """Export ``engine``'s state and write it to ``path`` atomically.
 
@@ -110,13 +145,43 @@ def write_checkpoint(
     Stick to primitive values (numbers, strings, lists, dicts): the
     header is read back with a restricted unpickler that rejects
     arbitrary objects. Returns the written :class:`CheckpointInfo`.
+
+    ``base=(info, state)`` — the info and *state dict* of the previously
+    written checkpoint — switches to an **incremental** write: only the
+    view entries that changed since ``base`` (plus the small header
+    sections) are persisted, chained to the base file via the header's
+    chain fields. Restore the result with :func:`restore_checkpoint`
+    (which follows the chain) — ``read_checkpoint`` on it returns the
+    raw delta. ``state`` passes a pre-exported state dict so callers
+    that keep one for diffing (the sink) export once, not twice.
     """
     if compression not in COMPRESSIONS:
         raise CheckpointError(
             f"unknown compression {compression!r}; expected one of {COMPRESSIONS}"
         )
-    state = engine.export_state()
-    blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    if state is None:
+        state = engine.export_state()
+    chain_header: Dict[str, Any]
+    if base is not None:
+        base_info, base_state = base
+        body_state = _diff_states(state, base_state, base_info, path)
+        chain_header = {
+            "incremental": True,
+            "chain_id": base_info.chain_id or base_info.path,
+            "chain_seq": base_info.chain_seq + 1,
+            "base_file": os.path.basename(base_info.path),
+        }
+    else:
+        body_state = state
+        chain_header = {
+            "incremental": False,
+            # Fresh chain: every incremental stacked on this snapshot
+            # (directly or transitively) inherits this id.
+            "chain_id": uuid.uuid4().hex,
+            "chain_seq": 0,
+            "base_file": "",
+        }
+    blob = pickle.dumps(body_state, protocol=pickle.HIGHEST_PROTOCOL)
     body = zlib.compress(blob, level) if compression == "zlib" else blob
     header = {
         "file_version": FILE_VERSION,
@@ -131,6 +196,7 @@ def write_checkpoint(
         # EngineConfig provenance travels with the snapshot; primitives
         # only, so the restricted header unpickler admits it.
         "config": dict(state.get("config") or {}),
+        **chain_header,
     }
     path = os.fspath(path)
     # Unique scratch name in the target directory: concurrent writers to
@@ -169,7 +235,7 @@ def read_checkpoint(path: str) -> Tuple[CheckpointInfo, Dict[str, Any]]:
             blob = zlib.decompress(body)
         except zlib.error as exc:
             raise CheckpointError(
-                f"corrupt checkpoint state in {path!r}: {exc}"
+                f"corrupt or truncated checkpoint state in {path!r}: {exc}"
             ) from None
     else:
         blob = body
@@ -190,14 +256,132 @@ def read_checkpoint(path: str) -> Tuple[CheckpointInfo, Dict[str, Any]]:
 def restore_checkpoint(engine, path: str) -> CheckpointInfo:
     """Read ``path`` and import its state into ``engine``.
 
+    Incremental checkpoints are resolved transparently: the chain of
+    ``base_file`` links is followed back to the full snapshot and the
+    deltas replayed in order (:func:`load_checkpoint_chain`), so
+    restoring from a chain head is indistinguishable from restoring a
+    full checkpoint written at the same moment.
+
     The engine validates provenance (query name, state format version,
     payload kind) and raises :class:`~repro.errors.EngineError` on any
-    mismatch; file-level corruption raises
+    mismatch; file-level corruption or a broken chain raises
     :class:`~repro.errors.CheckpointError`.
     """
-    info, state = read_checkpoint(path)
+    info, state = load_checkpoint_chain(path)
     engine.import_state(state)
     return info
+
+
+def load_checkpoint_chain(path: str) -> Tuple[CheckpointInfo, Dict[str, Any]]:
+    """Load ``path`` and reconstruct the full engine state it denotes.
+
+    A full checkpoint loads directly. An incremental one walks its
+    ``base_file`` links (resolved against the file's own directory) back
+    to the chain's full snapshot — validating at every link that the
+    base exists, shares the delta's ``chain_id`` and sits at exactly the
+    preceding ``chain_seq`` — then replays the per-view ``set``/``drop``
+    deltas oldest-first. Returns ``(head info, reconstructed state)``.
+    """
+    info, state = read_checkpoint(path)
+    if not info.incremental:
+        return info, state
+    directory = os.path.dirname(os.fspath(path)) or "."
+    deltas: List[Tuple[CheckpointInfo, Dict[str, Any]]] = [(info, state)]
+    current = info
+    seen = {os.path.abspath(os.fspath(path))}
+    while current.incremental:
+        if not current.base_file:
+            raise CheckpointError(
+                f"incremental checkpoint {current.path!r} names no base file"
+            )
+        base_path = os.path.join(directory, current.base_file)
+        if os.path.abspath(base_path) in seen:
+            raise CheckpointError(
+                f"checkpoint chain at {path!r} is cyclic via {base_path!r}"
+            )
+        seen.add(os.path.abspath(base_path))
+        if not os.path.exists(base_path):
+            raise CheckpointError(
+                f"incremental checkpoint {current.path!r} needs base "
+                f"{base_path!r}, which does not exist — the chain cannot "
+                "be restored"
+            )
+        base_info, base_state = read_checkpoint(base_path)
+        if (
+            base_info.chain_id != current.chain_id
+            or base_info.chain_seq != current.chain_seq - 1
+        ):
+            raise CheckpointError(
+                f"checkpoint chain broken at {base_path!r}: expected chain "
+                f"{current.chain_id!r} seq {current.chain_seq - 1}, found "
+                f"chain {base_info.chain_id!r} seq {base_info.chain_seq} — "
+                "the base was overwritten by a newer chain"
+            )
+        deltas.append((base_info, base_state))
+        current = base_info
+    full_info, full_state = deltas.pop()
+    if "views" not in full_state:
+        raise CheckpointError(
+            f"chain base {full_info.path!r} holds no 'views' section"
+        )
+    views = {name: dict(data) for name, data in full_state["views"].items()}
+    state_out = dict(full_state)
+    for delta_info, delta_state in reversed(deltas):
+        views_delta = delta_state.get("views_delta")
+        if not isinstance(views_delta, dict):
+            raise CheckpointError(
+                f"incremental checkpoint {delta_info.path!r} holds no "
+                "'views_delta' section"
+            )
+        if set(views_delta) != set(views):
+            raise CheckpointError(
+                f"incremental checkpoint {delta_info.path!r} covers views "
+                f"{sorted(views_delta)} but the chain base holds "
+                f"{sorted(views)}"
+            )
+        for name, change in views_delta.items():
+            data = views[name]
+            for key in change["drop"]:
+                data.pop(key, None)
+            data.update(change["set"])
+        state_out = dict(delta_state)
+        state_out.pop("views_delta", None)
+    state_out["views"] = views
+    return info, state_out
+
+
+def resolve_chain_head(path: str) -> str:
+    """The newest restorable checkpoint of the chain rooted at ``path``.
+
+    ``checkpoint_sink(full_every=K)`` writes the full snapshot at
+    ``path`` and deltas at ``path.inc1``, ``path.inc2``, …; recovery
+    wants the highest increment that still belongs to the *current*
+    chain. Walks ``path.incN`` upward while each file exists, parses and
+    matches the full snapshot's chain id at the expected sequence —
+    stale leftovers from an older chain (or corrupt files) stop the walk
+    — and returns the last good path (``path`` itself when no usable
+    increment exists).
+    """
+    info = read_checkpoint_info(path)
+    head = os.fspath(path)
+    seq = 1
+    while True:
+        candidate = f"{path}.inc{seq}"
+        if not os.path.exists(candidate):
+            break
+        try:
+            candidate_info = read_checkpoint_info(candidate)
+        except CheckpointError:
+            break
+        if (
+            not candidate_info.incremental
+            or candidate_info.chain_id != info.chain_id
+            or candidate_info.chain_seq != seq
+        ):
+            break
+        head = candidate
+        seq += 1
+    return head
 
 
 def checkpoint_sink(
@@ -205,24 +389,136 @@ def checkpoint_sink(
     compression: str = "zlib",
     level: int = 6,
     metadata: Optional[Mapping[str, Any]] = None,
+    full_every: int = 1,
 ) -> Callable:
     """Periodic-snapshot callback for ``apply_stream(checkpoint_every=N)``.
 
-    Every invocation rewrites ``path`` atomically (latest snapshot wins —
-    recovery wants the most recent state, and atomic replace means a
-    crash mid-write leaves the previous snapshot intact). The stream
+    With the default ``full_every=1`` every invocation rewrites ``path``
+    atomically in full (latest snapshot wins — recovery wants the most
+    recent state, and atomic replace means a crash mid-write leaves the
+    previous snapshot intact). ``full_every=K`` amortizes the write
+    cost: every K-th checkpoint is a full snapshot at ``path`` and the
+    K-1 in between are incremental deltas at ``path.inc1`` …
+    ``path.inc(K-1)``, each chained on its predecessor; a new full
+    snapshot removes the previous chain's increments. Recover with
+    ``restore_checkpoint(engine, resolve_chain_head(path))``. The stream
     position is recorded as ``events_processed`` in the header metadata
     so recovery knows where to resume the stream.
     """
+    if full_every < 1:
+        raise CheckpointError(f"full_every must be >= 1, got {full_every}")
+    #: (info, state) of the last written checkpoint and how many have
+    #: been written — closure state; the held state dict freezes its key
+    #: dicts at export time, so later maintenance cannot mutate it.
+    last: List[Optional[Tuple[CheckpointInfo, Dict[str, Any]]]] = [None]
+    written = [0]
 
     def on_checkpoint(engine, events_processed: int) -> None:
         meta = dict(metadata or {})
         meta["events_processed"] = events_processed
-        write_checkpoint(
-            engine, path, compression=compression, level=level, metadata=meta
-        )
+        position = written[0]
+        written[0] += 1
+        state = engine.export_state() if full_every > 1 else None
+        if last[0] is None or position % full_every == 0:
+            info = write_checkpoint(
+                engine, path, compression=compression, level=level,
+                metadata=meta, state=state,
+            )
+            remove_stale_increments(path)
+        else:
+            target = f"{path}.inc{position % full_every}"
+            info = write_checkpoint(
+                engine, target, compression=compression, level=level,
+                metadata=meta, base=last[0], state=state,
+            )
+        if full_every > 1:
+            last[0] = (info, state)
 
     return on_checkpoint
+
+
+def remove_stale_increments(path: str) -> None:
+    """Drop ``path.incN`` leftovers after a fresh full snapshot lands."""
+    seq = 1
+    while True:
+        candidate = f"{path}.inc{seq}"
+        if not os.path.exists(candidate):
+            break
+        try:
+            os.unlink(candidate)
+        except OSError:  # pragma: no cover - concurrent cleanup
+            break
+        seq += 1
+
+
+def _diff_states(
+    state: Mapping[str, Any],
+    base_state: Mapping[str, Any],
+    base_info: CheckpointInfo,
+    path: str,
+) -> Dict[str, Any]:
+    """The delta body persisted by an incremental write.
+
+    Small header sections (stats, serving, config, shard provenance)
+    are copied whole; the ``views`` section — the bulk of any snapshot —
+    becomes per-view ``{"set": changed entries, "drop": vanished keys}``.
+    Unchanged entries are recognized by object identity first
+    (maintenance replaces payloads, never mutates them, so an untouched
+    entry keeps its object across exports) with a guarded ``==``
+    fallback; payloads whose equality is unknowable are re-included,
+    which is always correct, just larger.
+    """
+    views = state.get("views")
+    base_views = base_state.get("views")
+    if not isinstance(views, dict) or not isinstance(base_views, dict):
+        raise CheckpointError(
+            f"incremental checkpoint {path!r} needs 'views' snapshots on "
+            "both sides (naive/first-order engines checkpoint full state "
+            "only)"
+        )
+    for field_name in ("query", "payload", "format_version"):
+        if state.get(field_name) != base_state.get(field_name):
+            raise CheckpointError(
+                f"cannot chain {path!r} on {base_info.path!r}: "
+                f"{field_name} changed from "
+                f"{base_state.get(field_name)!r} to {state.get(field_name)!r}"
+            )
+    if set(views) != set(base_views):
+        raise CheckpointError(
+            f"cannot chain {path!r} on {base_info.path!r}: view set "
+            f"changed from {sorted(base_views)} to {sorted(views)}"
+        )
+    views_delta: Dict[str, Dict[str, Any]] = {}
+    for name, data in views.items():
+        base_data = base_views[name]
+        changed = {
+            key: payload
+            for key, payload in data.items()
+            if not _payload_unchanged(base_data.get(key, _MISSING), payload)
+        }
+        dropped = [key for key in base_data if key not in data]
+        views_delta[name] = {"set": changed, "drop": dropped}
+    delta = {key: value for key, value in state.items() if key != "views"}
+    delta["views_delta"] = views_delta
+    return delta
+
+
+#: Sentinel distinguishing "key absent" from any real payload.
+_MISSING = object()
+
+
+def _payload_unchanged(old: Any, new: Any) -> bool:
+    if old is new:
+        return True
+    if old is _MISSING:
+        return False
+    try:
+        equal = old == new
+    except Exception:
+        return False
+    # Rich results (numpy arrays, payloads without a boolean ==) are
+    # "unknown" — keep the entry rather than guess.
+    return equal is True
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +540,12 @@ class _HeaderUnpickler(pickle.Unpickler):
 
 def _read_header(handle, path: str) -> Dict[str, Any]:
     magic = handle.read(len(MAGIC))
+    if len(magic) < len(MAGIC):
+        what = "an empty file" if not magic else f"only {len(magic)} bytes"
+        raise CheckpointError(
+            f"truncated checkpoint {path!r}: {what}, shorter than the "
+            f"{len(MAGIC)}-byte magic"
+        )
     if magic != MAGIC:
         raise CheckpointError(
             f"{path!r} is not an F-IVM checkpoint (bad magic {magic!r})"
@@ -252,6 +554,10 @@ def _read_header(handle, path: str) -> Dict[str, Any]:
         header = _HeaderUnpickler(handle).load()
     except CheckpointError:
         raise
+    except EOFError:
+        raise CheckpointError(
+            f"truncated checkpoint {path!r}: file ends inside the header"
+        ) from None
     except Exception as exc:
         raise CheckpointError(
             f"corrupt checkpoint header in {path!r}: {exc!r}"
@@ -300,4 +606,10 @@ def _info(path: str, header: Mapping[str, Any], file_bytes: int) -> CheckpointIn
         file_bytes=int(file_bytes),
         metadata=dict(header.get("metadata") or {}),
         config=dict(header.get("config") or {}),
+        # Chain fields absent from pre-incremental files read as a plain
+        # full checkpoint with no chain identity.
+        incremental=bool(header.get("incremental", False)),
+        chain_id=str(header.get("chain_id", "")),
+        chain_seq=int(header.get("chain_seq", 0)),
+        base_file=str(header.get("base_file", "")),
     )

@@ -34,8 +34,10 @@ import time
 from typing import List, Optional
 
 from repro.checkpoint import (
+    remove_stale_increments,
     checkpoint_sink,
     read_checkpoint_info,
+    resolve_chain_head,
     restore_checkpoint,
     write_checkpoint,
 )
@@ -52,7 +54,7 @@ from repro.config import (
     create_engine,
     engine_config_from_args,
 )
-from repro.data import single, tuple_events
+from repro.data import WindowedStream, single, tuple_events
 from repro.datasets import (
     FAVORITA_SCHEMAS,
     RETAILER_SCHEMAS,
@@ -72,7 +74,7 @@ from repro.datasets import (
 )
 from repro.engine import FIVMEngine, FirstOrderEngine, NaiveEngine, ShardedEngine
 from repro.ml.discretize import binning_for_attribute
-from repro.rings import CountSpec, CovarSpec, Feature, MISpec
+from repro.rings import CountSpec, CovarSpec, Feature, MISpec, result_drift
 from repro.serving import (
     IngestThread,
     ServerThread,
@@ -261,8 +263,27 @@ def _columnar_sweep(db, order, query_of, factories, targets, args) -> None:
     print("columnar and per-tuple results agree across the sweep ✓")
 
 
+def _bench_spec(args, config):
+    """Payload for the engine comparison: count ring by default, the
+    numeric covar ring over the continuous features when decay is on —
+    decay needs float-weighted payloads, exact count rings refuse it."""
+    if config.decay is None:
+        return CountSpec(), "count ring"
+    features, _label = _regression_features(args)
+    continuous = tuple(f for f in features if f.kind == "continuous")
+    return CovarSpec(continuous, backend="numeric"), "numeric covar ring"
+
+
 def cmd_bench(args) -> int:
     db, _schemas, order, query_of, factories, targets = _dataset(args)
+    config = engine_config_from_args(args)
+    window_spec = config.window_spec()
+    if (window_spec is not None or config.decay is not None) and args.ingest != "stream":
+        # Windows fire retractions on the event clock and decay ticks on
+        # it; pre-built batches have no clock.
+        print("# note: window/decay ride the event stream; using --ingest stream")
+        args.ingest = "stream"
+    spec, ring_label = _bench_spec(args, config)
     stream = UpdateStream(
         db,
         factories,
@@ -284,7 +305,6 @@ def cmd_bench(args) -> int:
         ]
     else:
         updates = batches
-    config = engine_config_from_args(args)
     columnar = (
         config.use_columnar
         if isinstance(config.use_columnar, str)
@@ -292,11 +312,13 @@ def cmd_bench(args) -> int:
     )
     print(
         f"# engine comparison on {args.dataset} "
-        f"(count ring, ingest={args.ingest}, batch size {args.batch_size}, "
+        f"({ring_label}, ingest={args.ingest}, batch size {args.batch_size}, "
         f"view-index={'on' if config.use_view_index else 'off'}, "
         f"columnar={columnar}, "
         f"fused={'on' if config.use_fused else 'off'}"
         + (f", shards={config.shards}" if config.shards > 1 else "")
+        + (f", window={config.window}" if config.window else "")
+        + (f", decay={config.decay}" if config.decay else "")
         + ")"
     )
     print(f"{'engine':>14} {'init (s)':>9} {'maintain (s)':>13} {'updates/s':>11}")
@@ -304,25 +326,30 @@ def cmd_bench(args) -> int:
         (
             FIVMEngine.strategy,
             lambda: FIVMEngine(
-                query_of(CountSpec()), order=order, config=config.replace(shards=1)
+                query_of(spec), order=order, config=config.replace(shards=1)
             ),
         ),
-        (
-            FirstOrderEngine.strategy,
-            lambda: FirstOrderEngine(query_of(CountSpec()), order=order),
-        ),
-        (
-            NaiveEngine.strategy,
-            lambda: NaiveEngine(query_of(CountSpec()), order=order),
-        ),
     ]
+    if config.decay is None:
+        # First-order/naive engines take no EngineConfig, so they cannot
+        # decay — windowed streams are fine (retractions are plain deltas).
+        contenders += [
+            (
+                FirstOrderEngine.strategy,
+                lambda: FirstOrderEngine(query_of(spec), order=order),
+            ),
+            (
+                NaiveEngine.strategy,
+                lambda: NaiveEngine(query_of(spec), order=order),
+            ),
+        ]
     if config.shards > 1:
         contenders.insert(
             0,
             (
                 f"fivm x{config.shards}",
                 lambda: ShardedEngine(
-                    query_of(CountSpec()), order=order, config=config
+                    query_of(spec), order=order, config=config
                 ),
             ),
         )
@@ -338,8 +365,12 @@ def cmd_bench(args) -> int:
             if args.ingest == "stream":
                 # Decompose to single-tuple events; the engine's
                 # UpdateBatcher coalesces them back into --batch-size
-                # batches.
-                engine.apply_stream(tuple_events(batches), batch_size=args.batch_size)
+                # batches. A fresh WindowedStream per engine: its
+                # retraction queue is stateful.
+                events = tuple_events(batches)
+                if window_spec is not None:
+                    events = WindowedStream(window_spec, events)
+                engine.apply_stream(events, batch_size=args.batch_size)
             else:
                 engine.apply_batch(updates)
             # result() before stopping the clock: on the sharded process
@@ -357,8 +388,36 @@ def cmd_bench(args) -> int:
             f"{label:>14} {init_s:>9.3f} {seconds:>13.3f} "
             f"{n_updates / seconds:>11.0f}"
         )
-    assert all(results[0] == other for other in results[1:]), "engines disagree"
-    print("all engines agree on the final result ✓")
+    if config.decay is not None and config.shards > 1:
+        # Sharded decay settles per shard before merging; float multiply
+        # does not distribute bit-exactly over add, so sharded vs
+        # unsharded agree to rounding, not bit-for-bit.
+        assert all(
+            results[0].close_to(other, 1e-9) for other in results[1:]
+        ), "engines disagree"
+        print("all engines agree on the final result (within 1e-9) ✓")
+    else:
+        assert all(results[0] == other for other in results[1:]), "engines disagree"
+        print("all engines agree on the final result ✓")
+    if config.decay is not None and config.profile_stages:
+        # Quantify what decay is doing: distance of the recency-weighted
+        # result from the same stream aggregated without decay.
+        reference = FIVMEngine(
+            query_of(spec), order=order,
+            config=config.replace(shards=1, decay=None),
+        )
+        reference.initialize(db)
+        events = tuple_events(batches)
+        if window_spec is not None:
+            events = WindowedStream(window_spec, events)
+        reference.apply_stream(events, batch_size=args.batch_size)
+        drift = result_drift(results[-1], reference.result())
+        stats = profiled
+        print(
+            f"\n# decay: drift vs undecayed run {drift:.6g} "
+            f"(ticks {stats.decay_ticks}, settles {stats.decay_settles}, "
+            f"rescales {stats.decay_rescales})"
+        )
     if profiled is not None:
         stages = profiled.stage_seconds
         print("\n# fivm per-stage time (fused ladder)")
@@ -394,10 +453,6 @@ def _checkpoint_spec(args, payload: str):
     return CountSpec()
 
 
-def _checkpoint_engine(args, query, order):
-    return create_engine(query, config=engine_config_from_args(args), order=order)
-
-
 def _counting(events, counter):
     """Pass events through, tallying them in ``counter[0]`` — keeps the
     CLI's memory O(batch) instead of materializing the whole stream."""
@@ -415,6 +470,14 @@ def _checkpoint_stream(meta, db, factories, targets):
         insert_ratio=float(meta["insert_ratio"]),
         seed=int(meta["seed"]),
     )
+
+
+def _windowed(events, config):
+    """Wrap raw events in a WindowedStream when the config asks for one."""
+    spec = config.window_spec()
+    if spec is None:
+        return events
+    return WindowedStream(spec, events)
 
 
 def cmd_checkpoint_save(args) -> int:
@@ -442,8 +505,11 @@ def cmd_checkpoint_save(args) -> int:
         "insert_ratio": args.insert_ratio,
     }
     counter = [0]
-    events = _counting(stream.tuples(args.updates), counter)
-    engine = _checkpoint_engine(args, query, order)
+    config = engine_config_from_args(args)
+    # Counting sits on the *source* stream, so positions stay in source
+    # units even when the window wrapper interleaves retractions.
+    events = _windowed(_counting(stream.tuples(args.updates), counter), config)
+    engine = create_engine(query, config=config, order=order)
     try:
         engine.initialize(db)
         if args.every:
@@ -452,7 +518,10 @@ def cmd_checkpoint_save(args) -> int:
                 batch_size=args.batch_size,
                 checkpoint_every=args.every,
                 on_checkpoint=checkpoint_sink(
-                    args.path, compression=args.compression, metadata=metadata
+                    args.path,
+                    compression=args.compression,
+                    metadata=metadata,
+                    full_every=args.full_every,
                 ),
             )
         else:
@@ -461,6 +530,9 @@ def cmd_checkpoint_save(args) -> int:
         info = write_checkpoint(
             engine, args.path, compression=args.compression, metadata=metadata
         )
+        # The final write starts a fresh chain; mid-run increments from
+        # --full-every now chain to a base that no longer exists.
+        remove_stale_increments(args.path)
     finally:
         if isinstance(engine, ShardedEngine):
             engine.close()
@@ -475,8 +547,29 @@ def cmd_checkpoint_save(args) -> int:
     return 0
 
 
+def _skip_windowed_prefix(windowed: WindowedStream, counter, position: int):
+    """Replay a windowed stream, dropping the outputs the engine already
+    holds.
+
+    The restored engine consumed the windowed compilation of the first
+    ``position`` *source* events, including the retractions those events
+    triggered. Draining the wrapper while ``counter`` (which counts
+    source events) is within the prefix rebuilds the retraction
+    scheduler without touching the engine; everything after flows
+    through, starting with the boundary retractions the checkpointed run
+    had not yet fired.
+    """
+    for event in windowed:
+        if counter[0] <= position:
+            continue
+        yield event
+
+
 def cmd_checkpoint_load(args) -> int:
-    info = read_checkpoint_info(args.path)
+    head = resolve_chain_head(args.path)
+    if head != args.path:
+        print(f"# chain head: {head}")
+    info = read_checkpoint_info(head)
     meta = info.metadata
     required = (
         "dataset", "scale", "seed", "payload",
@@ -492,15 +585,20 @@ def cmd_checkpoint_load(args) -> int:
         return 1
     # Rebuild the dataset and stream exactly as `save` did (seeded, hence
     # deterministic), then restore into the *requested* topology — the
-    # checkpoint's shard count need not match --shards.
+    # checkpoint's shard count need not match --shards. Time semantics
+    # (window/decay) come from the checkpoint's own config provenance so
+    # the resumed stream means the same thing it did at save time.
     args.dataset, args.scale, args.seed = (
         meta["dataset"], int(meta["scale"]), int(meta["seed"]),
     )
     db, _schemas, order, query_of, factories, targets = _dataset(args)
     query = query_of(_checkpoint_spec(args, meta["payload"]))
-    engine = _checkpoint_engine(args, query, order)
+    config = engine_config_from_args(args).replace(
+        window=info.config.get("window"), decay=info.config.get("decay"),
+    )
+    engine = create_engine(query, config=config, order=order)
     try:
-        restore_checkpoint(engine, args.path)
+        restore_checkpoint(engine, head)
         position = int(meta.get("events_processed", meta["updates"]))
         print(f"# restored {info.describe()}")
         print(
@@ -514,21 +612,33 @@ def cmd_checkpoint_load(args) -> int:
             # prefix lazily — memory stays O(batch), not O(stream).
             stream = _checkpoint_stream(meta, db, factories, targets)
             counter = [0]
-            remaining = _counting(
-                itertools.islice(stream.tuples(total), position, None),
-                counter,
-            )
+            window_spec = config.window_spec()
+            if window_spec is not None:
+                windowed = WindowedStream(
+                    window_spec, _counting(stream.tuples(total), counter)
+                )
+                remaining = _skip_windowed_prefix(windowed, counter, position)
+            else:
+                remaining = _counting(
+                    itertools.islice(stream.tuples(total), position, None),
+                    counter,
+                )
             engine.apply_stream(remaining, batch_size=int(meta["batch_size"]))
-            print(f"resumed {counter[0]} updates from the stream")
+            resumed = counter[0] - position if window_spec is not None else counter[0]
+            print(f"resumed {resumed} updates from the stream")
             if args.verify:
                 reference = FIVMEngine(
                     query_of(_checkpoint_spec(args, meta["payload"])),
                     order=order,
+                    config=EngineConfig(
+                        window=config.window, decay=config.decay
+                    ),
                 )
                 reference.initialize(db)
                 replay = _checkpoint_stream(meta, db, factories, targets)
                 reference.apply_stream(
-                    replay.tuples(total), batch_size=int(meta["batch_size"])
+                    _windowed(replay.tuples(total), config),
+                    batch_size=int(meta["batch_size"]),
                 )
                 if engine.result().close_to(reference.result(), 1e-9):
                     print(
@@ -552,15 +662,21 @@ def cmd_serve(args) -> int:
     scenario = build_serving_scenario(
         args.dataset, args.payload, scale=args.scale, seed=args.seed
     )
-    engine = scenario.engine(config=engine_config_from_args(args))
+    config = engine_config_from_args(args)
+    engine = scenario.engine(config=config)
     # Epoch 1 covers the initial database (event offset 0): readers get
     # answers from the first request on, never a 503 warm-up window.
     engine.publish(event_offset=0)
     stream = scenario.stream(
         batch_size=args.batch_size, insert_ratio=args.insert_ratio
     )
+    # Windowed serving: the ingest thread consumes the windowed
+    # compilation, and apply_stream stamps each published epoch with the
+    # live window bounds (surfaced by /stats).
     ingest = IngestThread(
-        engine, stream.tuples(args.updates), batch_size=args.batch_size
+        engine,
+        _windowed(stream.tuples(args.updates), config),
+        batch_size=args.batch_size,
     )
     metadata = scenario.provenance(args.batch_size, args.insert_ratio)
     metadata["updates"] = args.updates
@@ -708,6 +824,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="also snapshot every N updates while ingesting (0: only at the end)",
+    )
+    save.add_argument(
+        "--full-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help=(
+            "with --every: write a full snapshot every K-th checkpoint and "
+            "incremental deltas (PATH.incN) in between (1: always full)"
+        ),
     )
     save.add_argument("--compression", choices=("zlib", "none"), default="zlib")
     save.set_defaults(func=cmd_checkpoint_save)

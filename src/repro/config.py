@@ -28,7 +28,7 @@ import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.errors import EngineError
+from repro.errors import DataError, EngineError, RingError
 
 __all__ = [
     "EngineConfig",
@@ -77,6 +77,16 @@ class EngineConfig:
     use_fused: bool = True
     #: F-IVM: accumulate per-stage wall-clock into ``stats.stage_seconds``.
     profile_stages: bool = False
+    #: Windowed maintenance: ``"tumbling:SIZE"`` or ``"sliding:SIZE/SLIDE"``
+    #: (event-time units). The stream layer compiles the window to delayed
+    #: retractions (:class:`~repro.data.windows.WindowedStream`); snapshots
+    #: carry the window bounds as provenance. ``None`` = full history.
+    window: Optional[str] = None
+    #: Exponential decay: ``"RATE/EVERY"`` (e.g. ``"0.99/1000"``: multiply
+    #: history by 0.99 per 1000 events). Wraps the payload ring in a
+    #: :class:`~repro.rings.decay.DecayRing`; requires a float-weighted
+    #: ring (sum/covar). Mutually exclusive with ``window``.
+    decay: Optional[str] = None
 
     def __post_init__(self):
         if not isinstance(self.shards, int) or isinstance(self.shards, bool):
@@ -110,12 +120,51 @@ class EngineConfig:
             "use_fused", "profile_stages",
         ):
             object.__setattr__(self, name, bool(getattr(self, name)))
+        if self.window is not None:
+            from repro.data.windows import WindowSpec
+
+            try:
+                spec = WindowSpec.parse(self.window)
+            except DataError as exc:
+                raise EngineError(str(exc)) from None
+            object.__setattr__(self, "window", spec.describe())
+        if self.decay is not None:
+            from repro.rings.decay import DecaySpec
+
+            try:
+                decay_spec = DecaySpec.parse(self.decay)
+            except RingError as exc:
+                raise EngineError(str(exc)) from None
+            object.__setattr__(self, "decay", decay_spec.describe())
+        if self.window is not None and self.decay is not None:
+            raise EngineError(
+                "window and decay are mutually exclusive: a window retracts "
+                "events sharply while decay reweights them smoothly, and a "
+                "retraction lifted at a later decay tick would no longer "
+                "cancel its insert"
+            )
 
     # ------------------------------------------------------------------
 
     def replace(self, **changes) -> "EngineConfig":
         """A new config with ``changes`` applied (re-validated)."""
         return replace(self, **changes)
+
+    def window_spec(self):
+        """The parsed :class:`~repro.data.windows.WindowSpec` (or ``None``)."""
+        if self.window is None:
+            return None
+        from repro.data.windows import WindowSpec
+
+        return WindowSpec.parse(self.window)
+
+    def decay_spec(self):
+        """The parsed :class:`~repro.rings.decay.DecaySpec` (or ``None``)."""
+        if self.decay is None:
+            return None
+        from repro.rings.decay import DecaySpec
+
+        return DecaySpec.parse(self.decay)
 
     def to_dict(self) -> Dict[str, Any]:
         """Primitive-only dict form (checkpoint headers, provenance)."""
@@ -153,6 +202,10 @@ class EngineConfig:
         )
         parts.append(f"columnar={columnar}")
         parts.append(f"fused={'on' if self.use_fused else 'off'}")
+        if self.window is not None:
+            parts.append(f"window={self.window}")
+        if self.decay is not None:
+            parts.append(f"decay={self.decay}")
         return " ".join(parts)
 
 
@@ -311,6 +364,22 @@ def add_engine_cli_args(parser: argparse.ArgumentParser, shards_default: int = 1
             "(lift/probe/multiply/group/scatter) in engine stats"
         ),
     )
+    group.add_argument(
+        "--engine-window",
+        dest="engine_window", default=None, metavar="SPEC",
+        help=(
+            "windowed maintenance over event time: 'tumbling:SIZE' or "
+            "'sliding:SIZE/SLIDE' (default: full history)"
+        ),
+    )
+    group.add_argument(
+        "--engine-decay",
+        dest="engine_decay", default=None, metavar="RATE/EVERY",
+        help=(
+            "exponential decay: multiply history by RATE every EVERY "
+            "events (e.g. 0.99/1000; float-weighted rings only)"
+        ),
+    )
 
 
 def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
@@ -335,4 +404,6 @@ def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
         use_columnar="auto" if columnar is None else bool(columnar),
         use_fused=bool(getattr(args, "engine_fused", True)),
         profile_stages=bool(getattr(args, "engine_profile", False)),
+        window=getattr(args, "engine_window", None),
+        decay=getattr(args, "engine_decay", None),
     )

@@ -15,6 +15,13 @@ from repro.data.index import IndexedRelation, RelationIndex
 from repro.data.relation import Relation
 from repro.data.schema import DatabaseSchema, RelationSchema
 from repro.data.sharding import ShardRouter, shard_hash
+from repro.data.windows import (
+    RetractionScheduler,
+    WindowedStream,
+    WindowSpec,
+    live_window_events,
+    timed_events,
+)
 
 __all__ = [
     "ColumnarDelta",
@@ -36,4 +43,9 @@ __all__ = [
     "single",
     "split_delta",
     "tuple_events",
+    "WindowSpec",
+    "WindowedStream",
+    "RetractionScheduler",
+    "timed_events",
+    "live_window_events",
 ]

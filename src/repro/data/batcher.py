@@ -190,6 +190,16 @@ class UpdateBatcher:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        """Flush the remainder on clean exit *only*.
+
+        When the block raised, the pending half-batch is deliberately NOT
+        delivered: it represents an arbitrary prefix of a failed
+        iteration, and pushing it to ``on_flush`` (usually straight into
+        an engine) would commit partial work the caller is about to
+        unwind. The buffered updates stay on the batcher, so recovery —
+        an explicit :meth:`close` or dropping the batcher — remains the
+        caller's decision.
+        """
         if exc_type is None:
             self.close()
 

@@ -104,6 +104,15 @@ class EngineStatistics:
     mirror_hits: int = 0
     mirror_builds: int = 0
     mirror_invalidations: int = 0
+    #: Decay-clock lifecycle (engines built with ``decay=...``): clock
+    #: ticks advanced, lazy settles folded into stored payloads (reads,
+    #: exports), and settles forced by boost overflow
+    #: (rescale-on-overflow). ``decay_rescales`` greater than zero on a
+    #: short stream means the decay rate/interval make the boost grow
+    #: too fast — settles are correct but not free.
+    decay_ticks: int = 0
+    decay_settles: int = 0
+    decay_rescales: int = 0
     view_sizes: Dict[str, int] = field(default_factory=dict)
     #: Per-stage wall-clock seconds of the fused kernels (lift / probe /
     #: multiply / group / scatter), accumulated only when the engine was
@@ -128,6 +137,9 @@ class EngineStatistics:
         "mirror_hits",
         "mirror_builds",
         "mirror_invalidations",
+        "decay_ticks",
+        "decay_settles",
+        "decay_rescales",
     )
 
     def record_batch(self, delta: Relation) -> None:
@@ -199,7 +211,11 @@ class MaintenanceEngine(ABC):
     # Serving: epoch snapshots
     # ------------------------------------------------------------------
 
-    def publish(self, event_offset: Optional[int] = None) -> EngineSnapshot:
+    def publish(
+        self,
+        event_offset: Optional[int] = None,
+        window: Optional[Tuple[int, int]] = None,
+    ) -> EngineSnapshot:
         """Publish an immutable snapshot of the current result.
 
         The snapshot's ``result`` is the root view behind a fresh key
@@ -214,6 +230,9 @@ class MaintenanceEngine(ABC):
         callers that track consumed events (``apply_stream``, the serving
         ingest loop) pass it explicitly, everyone else gets the engine's
         ``updates_applied`` counter as the best available proxy.
+        ``window`` is the live event-time window ``(start, end)`` the
+        snapshot covers when the stream is windowed — provenance readers
+        see next to the epoch and offset.
 
         One writer: publish from the maintenance thread only.
         """
@@ -227,6 +246,7 @@ class MaintenanceEngine(ABC):
             strategy=self.strategy,
             event_offset=event_offset,
             stats=self.stats.snapshot(),
+            window=window,
         )
 
     def latest_snapshot(self) -> Optional[EngineSnapshot]:
@@ -273,6 +293,7 @@ class MaintenanceEngine(ABC):
         checkpoint_every: int = 0,
         on_checkpoint: Optional[Callable[["MaintenanceEngine", int], None]] = None,
         publish_batches: bool = False,
+        window_bounds: Optional[Callable[[], Tuple[int, int]]] = None,
     ) -> None:
         """Consume a stream of single-tuple updates in coalesced batches.
 
@@ -297,6 +318,17 @@ class MaintenanceEngine(ABC):
         than one batch behind the stream, and at every ``checkpoint_every``
         boundary the published snapshot covers exactly the checkpointed
         position (staleness zero at checkpoints).
+
+        When ``events`` is a :class:`~repro.data.windows.WindowedStream`
+        (anything exposing ``current_bounds()``), every published
+        snapshot carries the live window bounds as provenance;
+        ``window_bounds`` passes the bounds callable explicitly for
+        callers that wrap the stream in a plain generator (e.g. the
+        serving ingest thread's event counter). When the
+        engine was built with ``decay=RATE/EVERY``, the decay clock is
+        advanced here once per EVERY consumed events — the pending batch
+        is flushed first, so every event is weighted by the tick at which
+        it arrived, on every engine identically.
         """
         if checkpoint_every < 0:
             raise EngineError("checkpoint_every must be >= 0")
@@ -310,11 +342,14 @@ class MaintenanceEngine(ABC):
             for name in self.query.relation_names
         }
         count = 0
+        bounds_fn = window_bounds or getattr(events, "current_bounds", None)
+        decay_every = self._decay_interval()
 
         def deliver(batch) -> None:
             self.apply_many(batch)
             if publish_batches:
-                self.publish(event_offset=count)
+                window = bounds_fn() if bounds_fn is not None else None
+                self.publish(event_offset=count, window=window)
 
         batcher = UpdateBatcher(schemas, batch_size=batch_size, on_flush=deliver)
         for relation_name, row, multiplicity in events:
@@ -322,6 +357,13 @@ class MaintenanceEngine(ABC):
             # the offset including the event that triggered it.
             count += 1
             batcher.add(relation_name, row, multiplicity)
+            if decay_every and count % decay_every == 0:
+                # Flush so everything consumed so far enters at the old
+                # tick, then advance: the next event is one tick younger.
+                pending = batcher.flush()
+                if pending:
+                    self.apply_many(pending)
+                self.advance_decay(1)
             if checkpoint_every and count % checkpoint_every == 0:
                 # flush() returns without delivering to on_flush; apply the
                 # remainder so the snapshot covers every consumed event.
@@ -329,9 +371,34 @@ class MaintenanceEngine(ABC):
                 if pending:
                     self.apply_many(pending)
                 if publish_batches:
-                    self.publish(event_offset=count)
+                    window = bounds_fn() if bounds_fn is not None else None
+                    self.publish(event_offset=count, window=window)
                 on_checkpoint(self, count)
         batcher.close()
+
+    # ------------------------------------------------------------------
+    # Decay (exponential forgetting)
+    # ------------------------------------------------------------------
+
+    def _decay_interval(self) -> int:
+        """Events per decay tick (0 = engine has no decay configured).
+
+        Drives the auto-advance in :meth:`apply_stream`; engines wrapping
+        their ring in a :class:`~repro.rings.decay.DecayRing` override it.
+        """
+        return 0
+
+    def advance_decay(self, ticks: int = 1) -> None:
+        """Advance the engine's decay clock by ``ticks``.
+
+        Only meaningful on engines built with ``decay=...``; the base
+        implementation refuses so a stray advance on an undecayed engine
+        fails loudly instead of silently doing nothing.
+        """
+        raise EngineError(
+            f"{type(self).__name__} was not built with decay "
+            "(pass decay='RATE/EVERY' in EngineConfig)"
+        )
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -391,6 +458,7 @@ class MaintenanceEngine(ABC):
         self._snapshots = SnapshotStore()
         serving = state.get("serving")
         if serving:
+            window = serving.get("window")
             self._snapshots.publish(
                 self.result().copy(),
                 query=self.query.name,
@@ -399,6 +467,7 @@ class MaintenanceEngine(ABC):
                 stats=self.stats.snapshot(),
                 epoch=int(serving["epoch"]),
                 published_at=float(serving["published_at"]),
+                window=tuple(window) if window is not None else None,
             )
 
     def _validate_state(self, state: Mapping[str, Any]) -> None:

@@ -27,8 +27,9 @@ from repro.data.relation import Relation, _hook_getter, _key_getter, _positions
 from repro.engine.base import MaintenanceEngine
 from repro.engine.compile import FusedPath, compile_fused_path, live_mirrors
 from repro.engine.evaluation import evaluate_tree
-from repro.errors import EngineError
+from repro.errors import EngineError, RingError
 from repro.query.query import Query
+from repro.rings.decay import DecayRing
 from repro.query.variable_order import VariableOrder
 from repro.viewtree.builder import ViewTree, build_probe_plan, build_view_tree
 
@@ -96,7 +97,34 @@ class FIVMEngine(MaintenanceEngine):
         )
         self.config = config
         self.plan = query.build_plan()
+        #: Decay clock (None unless built with ``decay=RATE/EVERY``). The
+        #: wrap must happen *before* the view tree is built so every
+        #: lifting closure and compiled kernel sees the decayed ring.
+        self.decay_ring: Optional[DecayRing] = None
+        self._decay_every = 0
+        decay_spec = config.decay_spec()
+        if decay_spec is not None:
+            try:
+                self.plan.ring = DecayRing(self.plan.ring, decay_spec.rate)
+            except RingError as exc:
+                raise EngineError(
+                    f"decay={decay_spec.describe()!r} cannot run query "
+                    f"{query.name!r}: {exc}"
+                ) from exc
+            self.decay_ring = self.plan.ring
+            self._decay_every = decay_spec.every
         self.tree: ViewTree = build_view_tree(query, order=order, plan=self.plan)
+        #: Leaf relations under each view's subtree: each summand of view
+        #: ``v`` carries exactly ``k_v`` boosted leaf factors, so the
+        #: settle rebase for ``v`` is ``rate ** (ticks * k_v)``.
+        self._decay_leaf_counts: Dict[str, int] = (
+            {
+                name: _subtree_leaf_count(view)
+                for name, view in self.tree.views.items()
+            }
+            if self.decay_ring is not None
+            else {}
+        )
         self.materialized: Dict[str, Relation] = {}
         self.use_view_index = config.use_view_index
         #: Pick probe vs. scan per sibling join from |delta| against the
@@ -373,7 +401,69 @@ class FIVMEngine(MaintenanceEngine):
 
     def result(self) -> Relation:
         self._require_initialized()
+        self._settle_decay()
         return self.materialized[self.tree.root.name]
+
+    # ------------------------------------------------------------------
+    # Decay (exponential forgetting)
+    # ------------------------------------------------------------------
+
+    def _decay_interval(self) -> int:
+        return self._decay_every
+
+    def advance_decay(self, ticks: int = 1) -> None:
+        """Advance the decay clock; settles automatically on boost overflow.
+
+        Stored payloads are untouched — only the ring's entry boost moves —
+        unless the boost would exceed the ring's limit, in which case the
+        pending decay is folded into every view (rescale-on-overflow) and
+        the clock rebases to zero.
+        """
+        ring = self.decay_ring
+        if ring is None:
+            super().advance_decay(ticks)
+        ring.advance(ticks)
+        self.stats.decay_ticks += ticks
+        if ring.needs_rescale:
+            self._settle_decay()
+            self.stats.decay_rescales += 1
+
+    def _settle_decay(self) -> None:
+        """Fold the pending decay into every materialized view (lazy rebase).
+
+        Each view ``v`` is scaled by ``rate ** (ticks * k_v)`` where
+        ``k_v`` counts the leaf relations under its subtree, payload
+        objects are *replaced* (never mutated — published snapshots
+        sharing them stay frozen), and the clock resets. Idempotent; a
+        no-op on undecayed engines and at tick zero, so :meth:`result`
+        and :meth:`_export_payload` call it unconditionally.
+        """
+        ring = self.decay_ring
+        if ring is None or ring.ticks == 0:
+            return
+        scale_float = ring.base.scale_float
+        for name, relation in self.materialized.items():
+            factor = ring.settle_factor(self._decay_leaf_counts[name])
+            if factor == 1.0:
+                continue
+            data = relation.data
+            for key, payload in data.items():
+                data[key] = scale_float(payload, factor)
+            # Same invalidate-on-write discipline as add_inplace: the
+            # cached columnar form and every index mirror describe the
+            # pre-settle payloads, and index buckets alias them — refresh
+            # bucket entries in place so bucket *order* (which the fused
+            # probe's bit-equality rests on) survives the settle.
+            relation._columnar = None
+            indexes = getattr(relation, "indexes", None)
+            if indexes:
+                for index in indexes.values():
+                    index.mirror = None
+                    for bucket in index.buckets.values():
+                        for key in bucket:
+                            bucket[key] = data[key]
+        ring.reset()
+        self.stats.decay_settles += 1
 
     # ------------------------------------------------------------------
 
@@ -430,8 +520,11 @@ class FIVMEngine(MaintenanceEngine):
 
         The payload plan holds lifting closures, so the engine object
         itself is not serialized — recreate it from the query and restore
-        the snapshot with :meth:`import_state`.
+        the snapshot with :meth:`import_state`. Pending decay is settled
+        first, so snapshots always hold tick-zero (fully rebased) state
+        and restore into any compatible engine without a decay clock.
         """
+        self._settle_decay()
         return {
             "views": {
                 name: dict(relation.data)
@@ -493,6 +586,13 @@ class FIVMEngine(MaintenanceEngine):
         self.stats.view_sizes = {
             name: len(relation) for name, relation in self.materialized.items()
         }
+
+
+def _subtree_leaf_count(view) -> int:
+    """Leaf relations under ``view``'s subtree (1 for a leaf view)."""
+    if view.is_leaf:
+        return 1
+    return sum(_subtree_leaf_count(child) for child in view.children)
 
 
 def _payload_weight(payload) -> int:

@@ -256,6 +256,11 @@ class _SerialBackend(ShardBackend):
         self._require_open()
         self.engines[shard].apply(relation_name, delta)
 
+    def advance(self, ticks: int) -> None:
+        self._require_open()
+        for engine in self.engines:
+            engine.advance_decay(ticks)
+
     def results(self) -> List[Dict]:
         self._require_open()
         return [engine.result().data for engine in self.engines]
@@ -410,7 +415,10 @@ def _shard_worker(
                 broadcast_views,
             )
             continue
-        is_apply = op == "apply" or op == "applyc" or op == "applyd"
+        is_apply = (
+            op == "apply" or op == "applyc" or op == "applyd"
+            or op == "advance"
+        )
         try:
             if failure is not None:
                 if op == "applyd":
@@ -446,6 +454,11 @@ def _shard_worker(
                     schemas[relation_name], relation_name, generation, layout
                 )
                 engine.apply(relation_name, delta)
+            elif op == "advance":
+                # Fire-and-forget like applies: the pipe is FIFO, so the
+                # tick lands after every delta routed before it — all
+                # shards advance their decay clocks in lockstep.
+                engine.advance_decay(message[1])
             elif op == "result":
                 conn.send(("ok", engine.result().data))
             elif op == "stats":
@@ -550,6 +563,23 @@ class _ProcessBackend(ShardBackend):
             )
         except (BrokenPipeError, OSError) as exc:
             raise EngineError(f"shard {shard} worker is gone: {exc!r}") from None
+
+    def advance(self, ticks: int) -> None:
+        """Fire-and-forget decay-clock broadcast to every shard.
+
+        Rides the control pipe, which is FIFO per worker even under the
+        shm transport (data-plane applies announce themselves on the same
+        pipe), so every shard observes the tick at the same stream
+        position.
+        """
+        self._require_open()
+        for shard, conn in enumerate(self.connections):
+            try:
+                conn.send(("advance", ticks))
+            except (BrokenPipeError, OSError) as exc:
+                raise EngineError(
+                    f"shard {shard} worker is gone: {exc!r}"
+                ) from None
 
     def results(self) -> List[Dict]:
         if self.transport.tree_gather:
@@ -796,6 +826,9 @@ class ShardedEngine(MaintenanceEngine):
             adaptive_probe=self.adaptive_probe,
             use_columnar=self.use_columnar,
             use_fused=self.use_fused,
+            # Every shard runs the same decay clock; the coordinator
+            # broadcasts ticks so they stay in lockstep.
+            decay=self.config.decay,
         )
 
         def factory() -> FIVMEngine:
@@ -875,7 +908,11 @@ class ShardedEngine(MaintenanceEngine):
     # Serving: merge-on-publish
     # ------------------------------------------------------------------
 
-    def publish(self, event_offset: Optional[int] = None):
+    def publish(
+        self,
+        event_offset: Optional[int] = None,
+        window: Optional[Tuple[int, int]] = None,
+    ):
         """Publish the ring-additive merge of the per-shard root views.
 
         Merge-on-publish: the gather in :meth:`result` is the
@@ -893,9 +930,30 @@ class ShardedEngine(MaintenanceEngine):
         """
         self._require_initialized()
         try:
-            return super().publish(event_offset=event_offset)
+            return super().publish(event_offset=event_offset, window=window)
         except EngineError as exc:
             raise EngineError(f"publish failed: {exc}") from None
+
+    # ------------------------------------------------------------------
+    # Decay (exponential forgetting)
+    # ------------------------------------------------------------------
+
+    def _decay_interval(self) -> int:
+        spec = self.config.decay_spec()
+        return spec.every if spec is not None else 0
+
+    def advance_decay(self, ticks: int = 1) -> None:
+        """Broadcast a decay tick to every shard (lockstep clocks).
+
+        Fire-and-forget like applies: the next synchronous gather
+        (``result``/``publish``/``export_state``) is the barrier that
+        guarantees every shard observed the tick.
+        """
+        if self.config.decay is None:
+            super().advance_decay(ticks)
+        self._require_initialized()
+        self._backend.advance(ticks)
+        self.stats.decay_ticks += ticks
 
     # ------------------------------------------------------------------
 
@@ -913,7 +971,12 @@ class ShardedEngine(MaintenanceEngine):
         totals: Dict[str, int] = {}
         for snapshot in self.shard_stats():
             for key, value in snapshot.items():
-                totals[key] = totals.get(key, 0) + int(value)
+                if key.startswith("decay_"):
+                    # Shards tick in lockstep, so summing would report
+                    # shards x the logical clock; the max is the truth.
+                    totals[key] = max(totals.get(key, 0), int(value))
+                else:
+                    totals[key] = totals.get(key, 0) + int(value)
         self.stats.view_sizes = {
             key[len("view:"):]: value
             for key, value in totals.items()

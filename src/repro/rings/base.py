@@ -60,6 +60,11 @@ class Ring(ABC):
     #: dispatch entirely (see :mod:`repro.data.relation`).
     is_scalar: bool = False
 
+    #: True when :meth:`scale_float` is implemented — payloads form a
+    #: module over the reals, not just over Z. Exponential decay
+    #: (:class:`~repro.rings.decay.DecayRing`) requires this.
+    has_float_scaling: bool = False
+
     @abstractmethod
     def zero(self) -> Any:
         """Return the additive identity."""
@@ -159,6 +164,26 @@ class Ring(ABC):
         Rings with immutable payloads (ints, floats) return ``a`` itself.
         """
         return a
+
+    def scale_float(self, a: Any, factor: float) -> Any:
+        """Return ``a`` scaled by an arbitrary real ``factor``.
+
+        Only rings whose payloads embed the reals support this
+        (``has_float_scaling``); it is the primitive exponential decay is
+        built on. Exact rings (Z, bool, min-plus) raise — decaying exact
+        counts has no well-defined meaning there.
+        """
+        raise RingError(
+            f"ring {self.name!r} cannot scale payloads by a float — "
+            "exponential decay needs a float-weighted ring (sum/covar)"
+        )
+
+    def scale_float_many(self, block: Any, factor: float) -> Any:
+        """Block form of :meth:`scale_float` (one factor for all elements)."""
+        return self.make_block(
+            self.scale_float(payload, factor)
+            for payload in self.block_payloads(block)
+        )
 
     # ------------------------------------------------------------------
     # Bulk kernels over payload *blocks*.

@@ -176,6 +176,11 @@ class NumericCofactorRing(Ring):
     def scale(self, a: NumericCofactor, n: int) -> NumericCofactor:
         return NumericCofactor(a.c * n, a.s * n, a.q * n)
 
+    has_float_scaling = True
+
+    def scale_float(self, a: NumericCofactor, factor: float) -> NumericCofactor:
+        return NumericCofactor(a.c * factor, a.s * factor, a.q * factor)
+
     def from_int(self, n: int) -> NumericCofactor:
         m = self.degree
         return NumericCofactor(float(n), np.zeros(m), np.zeros((m, m)))
@@ -266,6 +271,13 @@ class NumericCofactorRing(Ring):
         n = np.asarray(counts, dtype=np.float64)
         return NumericCofactorBlock(
             block.c * n, block.s * n[:, None], block.q * n[:, None, None]
+        )
+
+    def scale_float_many(
+        self, block: NumericCofactorBlock, factor: float
+    ) -> NumericCofactorBlock:
+        return NumericCofactorBlock(
+            block.c * factor, block.s * factor, block.q * factor
         )
 
     def from_int_many(self, counts) -> NumericCofactorBlock:
@@ -447,6 +459,20 @@ class GeneralCofactorRing(Ring):
 
     def from_int(self, n: int) -> GeneralCofactor:
         return GeneralCofactor(self.scalar.from_int(n), {}, {})
+
+    @property
+    def has_float_scaling(self) -> bool:
+        return self.scalar.has_float_scaling
+
+    def scale_float(self, a: GeneralCofactor, factor: float) -> GeneralCofactor:
+        # Delegates entry-wise; a scalar ring without float scaling
+        # (e.g. the relational ring) raises its own descriptive error.
+        scalar = self.scalar
+        return GeneralCofactor(
+            scalar.scale_float(a.c, factor),
+            {key: scalar.scale_float(value, factor) for key, value in a.s.items()},
+            {key: scalar.scale_float(value, factor) for key, value in a.q.items()},
+        )
 
     def eq(self, a: GeneralCofactor, b: GeneralCofactor) -> bool:
         scalar = self.scalar

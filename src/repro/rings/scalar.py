@@ -158,6 +158,14 @@ class FloatRing(_ArrayBlockKernels, Ring):
     def scale(self, a: float, n: int) -> float:
         return a * n
 
+    has_float_scaling = True
+
+    def scale_float(self, a: float, factor: float) -> float:
+        return a * factor
+
+    def scale_float_many(self, block, factor: float):
+        return block * factor
+
     def is_zero(self, a: float) -> bool:
         return abs(a) <= self.zero_tolerance
 

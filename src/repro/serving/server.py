@@ -188,11 +188,16 @@ class ServingApp:
 
     @staticmethod
     def _envelope(snapshot: EngineSnapshot) -> Dict[str, Any]:
-        return {
+        body = {
             "epoch": snapshot.epoch,
             "event_offset": snapshot.event_offset,
             "published_at": snapshot.published_at,
         }
+        if snapshot.window is not None:
+            # Windowed ingest: the live event-time interval this epoch
+            # answers for.
+            body["window"] = list(snapshot.window)
+        return body
 
     def _position(self) -> Optional[int]:
         if self.position_source is None:
@@ -592,6 +597,9 @@ class IngestThread(threading.Thread):
                 self._counted(),
                 batch_size=self.batch_size,
                 publish_batches=True,
+                # _counted() hides the stream object, so forward its
+                # window-bounds hook (if any) for snapshot provenance.
+                window_bounds=getattr(self.events, "current_bounds", None),
             )
         except BaseException as exc:  # noqa: BLE001 - surfaced via .error
             self.error = exc

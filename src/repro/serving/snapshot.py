@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.data.relation import Relation
 from repro.errors import EngineError
@@ -58,6 +58,9 @@ class EngineSnapshot:
     result: Relation
     #: Maintenance-counter snapshot at publication time.
     stats: Mapping[str, int] = field(default_factory=dict)
+    #: Live event-time window ``(start, end)`` the snapshot covers, when
+    #: the producing stream was windowed (``None`` for full history).
+    window: Optional[Tuple[int, int]] = None
 
     def age(self, now: Optional[float] = None) -> float:
         """Seconds since publication."""
@@ -68,11 +71,14 @@ class EngineSnapshot:
         return max(0, int(position) - self.event_offset)
 
     def describe(self) -> str:
-        return (
+        base = (
             f"epoch {self.epoch} of {self.query!r} ({self.strategy}): "
             f"{len(self.result)} result entries at event offset "
             f"{self.event_offset}"
         )
+        if self.window is not None:
+            base += f", window [{self.window[0]}, {self.window[1]})"
+        return base
 
 
 class SnapshotStore:
@@ -110,15 +116,19 @@ class SnapshotStore:
         stats: Optional[Mapping[str, int]] = None,
         epoch: Optional[int] = None,
         published_at: Optional[float] = None,
+        window: Optional[Tuple[int, int]] = None,
     ) -> EngineSnapshot:
         """Build the next snapshot and swap it in atomically.
 
         ``epoch``/``published_at`` default to "next epoch, now"; checkpoint
         restore passes the recorded values so a republished snapshot keeps
-        the provenance of the one that was exported.
+        the provenance of the one that was exported. ``window`` is the
+        live event-time bounds when the producing stream is windowed.
         """
         if event_offset < 0:
             raise EngineError("snapshot event_offset must be >= 0")
+        if window is not None:
+            window = (int(window[0]), int(window[1]))
         snapshot = EngineSnapshot(
             epoch=self.epoch + 1 if epoch is None else int(epoch),
             event_offset=int(event_offset),
@@ -127,6 +137,7 @@ class SnapshotStore:
             strategy=strategy,
             result=result,
             stats=dict(stats or {}),
+            window=window,
         )
         self._latest = snapshot  # the atomic pointer swap
         return snapshot
@@ -136,8 +147,11 @@ class SnapshotStore:
         latest = self._latest
         if latest is None:
             return None
-        return {
+        meta: Dict[str, Any] = {
             "epoch": latest.epoch,
             "event_offset": latest.event_offset,
             "published_at": latest.published_at,
         }
+        if latest.window is not None:
+            meta["window"] = list(latest.window)
+        return meta

@@ -110,6 +110,34 @@ class TestFlushPolicies:
         assert batch is not None and batch[0][0] == "R"
         assert batcher.close() is None
 
+    def test_exception_in_context_suppresses_final_flush(self):
+        # A half-built batch must not reach the engine when the producing
+        # block blew up: delivering it would apply an arbitrary prefix of
+        # the failed iteration. The pending updates stay buffered so the
+        # caller can recover (or drop the batcher) explicitly.
+        delivered = []
+        with pytest.raises(RuntimeError, match="mid-stream"):
+            with UpdateBatcher(
+                SCHEMAS, batch_size=1000, on_flush=delivered.append
+            ) as batcher:
+                batcher.add("R", ("a1", 1))
+                raise RuntimeError("producer failed mid-stream")
+        assert delivered == []
+        assert batcher.pending_updates == 1
+        # Recovery remains the caller's call: an explicit close still works.
+        batcher.close()
+        assert len(delivered) == 1
+
+    def test_exception_before_any_add_flushes_nothing(self):
+        delivered = []
+        with pytest.raises(ValueError):
+            with UpdateBatcher(
+                SCHEMAS, batch_size=2, on_flush=delivered.append
+            ) as batcher:
+                raise ValueError("no events at all")
+        assert delivered == []
+        assert batcher.pending_updates == 0
+
     def test_batch_events_generator(self):
         events = [("R", ("a", i % 2), 1) for i in range(5)]
         batches = list(batch_events(events, SCHEMAS, batch_size=2))

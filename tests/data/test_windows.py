@@ -1,0 +1,177 @@
+"""WindowSpec / RetractionScheduler / WindowedStream unit behavior."""
+
+import pytest
+
+from repro.data import (
+    RetractionScheduler,
+    WindowSpec,
+    WindowedStream,
+    live_window_events,
+    timed_events,
+)
+from repro.errors import DataError
+
+
+class TestWindowSpec:
+    def test_parse_tumbling(self):
+        spec = WindowSpec.parse("tumbling:100")
+        assert spec.size == 100 and spec.slide == 100
+        assert spec.kind == "tumbling"
+        assert spec.describe() == "tumbling:100"
+
+    def test_parse_sliding(self):
+        spec = WindowSpec.parse("sliding:100/25")
+        assert spec.size == 100 and spec.slide == 25
+        assert spec.kind == "sliding"
+        assert spec.describe() == "sliding:100/25"
+
+    def test_parse_sliding_default_slide(self):
+        spec = WindowSpec.parse("sliding:64")
+        assert spec.size == 64 and spec.slide == 64
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "100", "hopping:10", "tumbling:", "tumbling:ten", "sliding:8/x"],
+    )
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(DataError):
+            WindowSpec.parse(text)
+
+    def test_size_and_slide_validated(self):
+        with pytest.raises(DataError, match="size"):
+            WindowSpec(0, 1)
+        with pytest.raises(DataError, match="slide"):
+            WindowSpec(10, 0)
+        with pytest.raises(DataError, match="gaps"):
+            WindowSpec(10, 20)
+
+    def test_expiry_is_first_boundary_excluding_time(self):
+        spec = WindowSpec(100, 50)
+        # Event at t expires at the first boundary b with b - 100 > t.
+        for t in (0, 1, 49, 50, 99, 100):
+            b = spec.expiry(t)
+            assert b % 50 == 0
+            low, _high = spec.bounds_at(b)
+            assert low > t
+            assert spec.bounds_at(b - 50)[0] <= t
+
+    def test_bounds_at_boundary(self):
+        spec = WindowSpec(100, 25)
+        assert spec.bounds_at(200) == (100, 200)
+        assert spec.boundary(214) == 200
+
+
+class TestRetractionScheduler:
+    def test_due_pops_prefix(self):
+        sched = RetractionScheduler()
+        sched.schedule(10, "R", ("a",), -1)
+        sched.schedule(20, "R", ("b",), -1)
+        assert list(sched.due(10)) == [("R", ("a",), -1)]
+        assert len(sched) == 1
+        assert list(sched.due(25)) == [("R", ("b",), -1)]
+
+    def test_out_of_order_expiry_rejected(self):
+        sched = RetractionScheduler()
+        sched.schedule(20, "R", ("a",), -1)
+        with pytest.raises(DataError, match="out of order"):
+            sched.schedule(10, "R", ("b",), -1)
+
+    def test_pending_is_a_copy(self):
+        sched = RetractionScheduler()
+        sched.schedule(10, "R", ("a",), -2)
+        pending = sched.pending()
+        assert pending == [("R", ("a",), -2, 10)]
+        pending.clear()
+        assert len(sched) == 1
+
+
+class TestWindowedStream:
+    def test_tumbling_emits_retractions_at_boundary(self):
+        events = [("R", ("a",), 1), ("R", ("b",), 1), ("R", ("c",), 1)]
+        # size=slide=1 with index times: event i expires at boundary i+2.
+        out = list(WindowedStream(WindowSpec(1, 1), iter(events)))
+        assert out == [
+            ("R", ("a",), 1),
+            ("R", ("b",), 1),
+            ("R", ("a",), -1),  # boundary 2 fires before event at t=2
+            ("R", ("c",), 1),
+        ]
+
+    def test_spec_string_accepted(self):
+        stream = WindowedStream("tumbling:4", iter([]))
+        assert stream.spec == WindowSpec(4, 4)
+
+    def test_timed_events_drive_boundaries(self):
+        events = [
+            ("R", ("a",), 1, 0),
+            ("R", ("b",), 1, 30),
+            ("R", ("c",), 1, 30),  # equal times allowed
+            ("R", ("d",), 1, 45),
+        ]
+        stream = WindowedStream(WindowSpec(20, 10), iter(events))
+        out = list(stream)
+        assert ("R", ("a",), -1) in out
+        assert stream.current_bounds() == (20, 40)
+        assert stream.last_time == 45
+
+    def test_retraction_of_a_delete_is_an_insert(self):
+        out = list(
+            WindowedStream(
+                WindowSpec(1, 1),
+                iter([("R", ("a",), -1), ("R", ("b",), 1), ("R", ("c",), 1)]),
+            )
+        )
+        assert ("R", ("a",), 1) in out  # the delete ages out: tuple returns
+
+    def test_backwards_time_rejected(self):
+        stream = WindowedStream(
+            WindowSpec(10, 10),
+            iter([("R", ("a",), 1, 5), ("R", ("b",), 1, 3)]),
+        )
+        with pytest.raises(DataError, match="backwards"):
+            list(stream)
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(DataError, match="arity"):
+            list(WindowedStream(WindowSpec(2, 2), iter([("R", ("a",))])))
+
+    def test_non_int_time_rejected(self):
+        with pytest.raises(DataError, match="time must be an int"):
+            list(
+                WindowedStream(
+                    WindowSpec(2, 2), iter([("R", ("a",), 1, 1.5)])
+                )
+            )
+
+    def test_advance_to_flushes_expired(self):
+        stream = WindowedStream(
+            WindowSpec(10, 10), iter([("R", ("a",), 1, 0)])
+        )
+        applied = list(stream)
+        assert applied == [("R", ("a",), 1)]
+        assert stream.pending_retractions() == 1
+        late = list(stream.advance_to(100))
+        assert late == [("R", ("a",), -1)]
+        assert stream.pending_retractions() == 0
+        assert stream.current_boundary == 100
+
+
+class TestHelpers:
+    def test_timed_events_stamps_index(self):
+        assert list(timed_events([("R", ("a",), 1)], start=5)) == [
+            ("R", ("a",), 1, 5)
+        ]
+
+    def test_live_window_filters_interval(self):
+        timed = [("R", (i,), 1, i) for i in range(10)]
+        live = live_window_events(timed, WindowSpec(4, 2), 8)
+        assert [row[0] for _n, row, _s in live] == [4, 5, 6, 7]
+
+    def test_live_window_upto_includes_unexpired_tail(self):
+        timed = [("R", (i,), 1, i) for i in range(10)]
+        live = live_window_events(timed, WindowSpec(4, 2), 8, upto=9)
+        assert [row[0] for _n, row, _s in live] == [4, 5, 6, 7, 8, 9]
+
+    def test_live_window_requires_timed(self):
+        with pytest.raises(DataError, match="timed"):
+            live_window_events([("R", ("a",), 1)], WindowSpec(4, 2), 4)

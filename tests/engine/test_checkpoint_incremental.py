@@ -1,0 +1,347 @@
+"""Incremental checkpoint chains: write, resolve, replay, recover, fail."""
+
+import pytest
+
+from repro.checkpoint import (
+    checkpoint_sink,
+    load_checkpoint_chain,
+    read_checkpoint,
+    read_checkpoint_info,
+    remove_stale_increments,
+    resolve_chain_head,
+    restore_checkpoint,
+    write_checkpoint,
+)
+from repro.config import EngineConfig, create_engine
+from repro.datasets import (
+    UpdateStream,
+    toy_count_query,
+    toy_database,
+    toy_row_factories,
+    toy_variable_order,
+)
+from repro.errors import CheckpointError
+
+
+def toy_events(total=120, insert_ratio=0.6, seed=31):
+    database = toy_database()
+    stream = UpdateStream(
+        database,
+        toy_row_factories(),
+        targets=("R", "S"),
+        batch_size=10,
+        insert_ratio=insert_ratio,
+        seed=seed,
+    )
+    return database, list(stream.tuples(total))
+
+
+def fresh_engine(database, config=None):
+    engine = create_engine(
+        toy_count_query(), config=config, order=toy_variable_order()
+    )
+    engine.initialize(database)
+    return engine
+
+
+def write_chain(tmp_path, database, events, links=3):
+    """Full + ``links`` increments, one per event quarter; returns paths."""
+    engine = fresh_engine(database)
+    chunk = len(events) // (links + 1)
+    paths = []
+    prev = None
+    for i in range(links + 1):
+        engine.apply_stream(iter(events[i * chunk:(i + 1) * chunk]), batch_size=10)
+        path = str(tmp_path / ("c.ckpt" if i == 0 else f"c.ckpt.inc{i}"))
+        state = engine.export_state()
+        info = write_checkpoint(engine, path, base=prev, state=state)
+        prev = (info, state)
+        paths.append(path)
+    return engine, paths
+
+
+class TestChainWrite:
+    def test_full_then_increments_carry_chain_header(self, tmp_path):
+        database, events = toy_events()
+        _, paths = write_chain(tmp_path, database, events)
+        infos = [read_checkpoint_info(p) for p in paths]
+        assert not infos[0].incremental and infos[0].chain_seq == 0
+        assert infos[0].chain_id
+        for seq, info in enumerate(infos[1:], start=1):
+            assert info.incremental
+            assert info.chain_id == infos[0].chain_id
+            assert info.chain_seq == seq
+            assert info.base_file == ("c.ckpt" if seq == 1 else f"c.ckpt.inc{seq - 1}")
+
+    def test_delta_body_holds_views_delta_not_views(self, tmp_path):
+        database, events = toy_events()
+        _, paths = write_chain(tmp_path, database, events)
+        _, raw = read_checkpoint(paths[1])
+        assert "views" not in raw
+        assert set(raw["views_delta"])  # at least one view changed
+        some = next(iter(raw["views_delta"].values()))
+        assert set(some) == {"set", "drop"}
+
+    def test_describe_mentions_chain_position(self, tmp_path):
+        database, events = toy_events()
+        _, paths = write_chain(tmp_path, database, events)
+        assert "incremental #2 on c.ckpt.inc1" in read_checkpoint_info(
+            paths[2]
+        ).describe()
+        assert "incremental" not in read_checkpoint_info(paths[0]).describe()
+
+    def test_unchanged_views_produce_empty_delta(self, tmp_path):
+        # The diff detects untouched views by payload identity: with no
+        # events between base and increment, every per-view delta is
+        # empty. (Byte savings at realistic view sizes is asserted by
+        # benchmarks/bench_windowed.py; at toy scale headers dominate.)
+        database, events = toy_events()
+        engine = fresh_engine(database)
+        engine.apply_stream(iter(events), batch_size=10)
+        state = engine.export_state()
+        info = write_checkpoint(engine, str(tmp_path / "f.ckpt"), state=state)
+        write_checkpoint(
+            engine,
+            str(tmp_path / "f.ckpt.inc1"),
+            base=(info, state),
+            state=engine.export_state(),
+        )
+        _, raw = read_checkpoint(str(tmp_path / "f.ckpt.inc1"))
+        for delta in raw["views_delta"].values():
+            assert delta["set"] == {} and delta["drop"] == []
+
+
+class TestChainRestore:
+    def test_chain_equals_uninterrupted_and_single_full(self, tmp_path):
+        database, events = toy_events()
+        engine, paths = write_chain(tmp_path, database, events)
+        expected = engine.result()
+        # ... equals a single full snapshot taken at the same moment ...
+        single = str(tmp_path / "single.ckpt")
+        write_checkpoint(engine, single)
+        restored_single = fresh_engine(database)
+        restore_checkpoint(restored_single, single)
+        assert restored_single.result() == expected
+        # ... and equals replaying the chain head.
+        restored_chain = fresh_engine(database)
+        restore_checkpoint(restored_chain, paths[-1])
+        assert restored_chain.result() == expected
+        assert restored_chain.export_state() == restored_single.export_state()
+
+    def test_mid_chain_restore_matches_prefix_run(self, tmp_path):
+        database, events = toy_events()
+        _, paths = write_chain(tmp_path, database, events, links=3)
+        # write_chain writes after each chunk: paths[2] covers 3 chunks.
+        consumed = 3 * (len(events) // 4)
+        reference = fresh_engine(database)
+        reference.apply_stream(iter(events[:consumed]), batch_size=10)
+        restored = fresh_engine(database)
+        restore_checkpoint(restored, paths[2])
+        assert restored.result() == reference.result()
+
+    def test_restored_engine_keeps_maintaining(self, tmp_path):
+        database, events = toy_events(total=160)
+        engine, paths = write_chain(tmp_path, database, events[:120])
+        restored = fresh_engine(database)
+        restore_checkpoint(restored, paths[-1])
+        tail = events[120:]
+        engine.apply_stream(iter(tail), batch_size=10)
+        restored.apply_stream(iter(tail), batch_size=10)
+        assert restored.result() == engine.result()
+
+    @pytest.mark.parametrize("restore_shards", [1, 2, 4])
+    def test_shard_topology_changes_across_the_chain(self, tmp_path, restore_shards):
+        # A chain written unsharded restores into any shard topology.
+        database, events = toy_events()
+        engine, paths = write_chain(tmp_path, database, events)
+        expected = engine.result()
+        config = (
+            EngineConfig(shards=restore_shards, backend="serial")
+            if restore_shards > 1
+            else None
+        )
+        restored = create_engine(
+            toy_count_query(), config=config, order=toy_variable_order()
+        )
+        if restore_shards > 1:
+            with restored:
+                restore_checkpoint(restored, paths[-1])
+                assert restored.result() == expected
+        else:
+            restore_checkpoint(restored, paths[-1])
+            assert restored.result() == expected
+
+    def test_chain_written_sharded_restores_unsharded(self, tmp_path):
+        database, events = toy_events()
+        engine = create_engine(
+            toy_count_query(),
+            config=EngineConfig(shards=2, backend="serial"),
+            order=toy_variable_order(),
+        )
+        with engine:
+            engine.initialize(database)
+            engine.apply_stream(iter(events[:60]), batch_size=10)
+            full = str(tmp_path / "s.ckpt")
+            state = engine.export_state()
+            info = write_checkpoint(engine, full, state=state)
+            engine.apply_stream(iter(events[60:]), batch_size=10)
+            inc = str(tmp_path / "s.ckpt.inc1")
+            write_checkpoint(engine, inc, base=(info, state))
+            expected = engine.result()
+        restored = fresh_engine(database)
+        restore_checkpoint(restored, inc)
+        assert restored.result() == expected
+
+
+class TestResolveChainHead:
+    def test_walks_to_newest_increment(self, tmp_path):
+        database, events = toy_events()
+        _, paths = write_chain(tmp_path, database, events)
+        assert resolve_chain_head(paths[0]) == paths[-1]
+
+    def test_full_without_increments_is_its_own_head(self, tmp_path):
+        database, events = toy_events()
+        engine = fresh_engine(database)
+        engine.apply_stream(iter(events), batch_size=10)
+        path = str(tmp_path / "solo.ckpt")
+        write_checkpoint(engine, path)
+        assert resolve_chain_head(path) == path
+
+    def test_stale_increment_from_older_chain_rejected(self, tmp_path):
+        # Chain A leaves c.ckpt.inc1..3 behind; a fresh full snapshot
+        # starts chain B at the same base path. The stale increments must
+        # not be picked up: their chain_id belongs to the dead chain.
+        database, events = toy_events()
+        engine, paths = write_chain(tmp_path, database, events)
+        write_checkpoint(engine, paths[0])  # new full, new chain id
+        assert resolve_chain_head(paths[0]) == paths[0]
+        remove_stale_increments(paths[0])
+        import os
+
+        assert not any(os.path.exists(p) for p in paths[1:])
+
+    def test_gap_in_sequence_stops_the_walk(self, tmp_path):
+        import os
+
+        database, events = toy_events()
+        _, paths = write_chain(tmp_path, database, events)
+        os.unlink(paths[1])  # c.ckpt.inc1 gone; inc2/inc3 unreachable
+        assert resolve_chain_head(paths[0]) == paths[0]
+
+
+class TestCheckpointSink:
+    def test_full_every_alternates_full_and_incremental(self, tmp_path):
+        database, events = toy_events()
+        path = str(tmp_path / "sink.ckpt")
+        engine = fresh_engine(database)
+        engine.apply_stream(
+            iter(events),
+            batch_size=10,
+            checkpoint_every=30,
+            on_checkpoint=checkpoint_sink(path, full_every=2),
+        )
+        # Four checkpoints (every 30 events): full, inc1, full, inc1.
+        head = resolve_chain_head(path)
+        assert head == f"{path}.inc1"
+        info = read_checkpoint_info(path)
+        assert not info.incremental
+        assert read_checkpoint_info(head).chain_id == info.chain_id
+        restored = fresh_engine(database)
+        restore_checkpoint(restored, head)
+        # The head covers the stream up to the last checkpoint position
+        # (tuples() rounds the event count up to a batch boundary, so the
+        # final events may fall after it).
+        last = (len(events) // 30) * 30
+        reference = fresh_engine(database)
+        reference.apply_stream(iter(events[:last]), batch_size=10)
+        assert restored.result() == reference.result()
+
+    def test_full_every_one_keeps_single_file_behavior(self, tmp_path):
+        import os
+
+        database, events = toy_events()
+        path = str(tmp_path / "plain.ckpt")
+        engine = fresh_engine(database)
+        engine.apply_stream(
+            iter(events),
+            batch_size=10,
+            checkpoint_every=40,
+            on_checkpoint=checkpoint_sink(path),
+        )
+        assert not os.path.exists(f"{path}.inc1")
+        restored = fresh_engine(database)
+        restore_checkpoint(restored, path)
+        last = (len(events) // 40) * 40
+        reference = fresh_engine(database)
+        reference.apply_stream(iter(events[:last]), batch_size=10)
+        assert restored.result() == reference.result()
+
+    def test_new_full_cleans_stale_increments(self, tmp_path):
+        import os
+
+        database, events = toy_events()
+        path = str(tmp_path / "clean.ckpt")
+        engine = fresh_engine(database)
+        # full_every=4 over 4 checkpoints: full, inc1, inc2, inc3.
+        engine.apply_stream(
+            iter(events),
+            batch_size=10,
+            checkpoint_every=30,
+            on_checkpoint=checkpoint_sink(path, full_every=4),
+        )
+        assert os.path.exists(f"{path}.inc3")
+        # The next cycle's full write drops the previous increments.
+        sink = checkpoint_sink(path, full_every=4)
+        sink(engine, 0)
+        assert not os.path.exists(f"{path}.inc1")
+
+    def test_full_every_must_be_positive(self):
+        with pytest.raises(CheckpointError, match="full_every"):
+            checkpoint_sink("x.ckpt", full_every=0)
+
+
+class TestChainFailures:
+    def test_missing_base_file(self, tmp_path):
+        import os
+
+        database, events = toy_events()
+        _, paths = write_chain(tmp_path, database, events)
+        os.unlink(paths[0])
+        with pytest.raises(CheckpointError, match="base"):
+            load_checkpoint_chain(paths[-1])
+
+    def test_chain_id_mismatch(self, tmp_path):
+        database, events = toy_events()
+        engine, paths = write_chain(tmp_path, database, events)
+        # Overwrite the full snapshot: new chain id, old increments orphaned.
+        write_checkpoint(engine, paths[0])
+        with pytest.raises(CheckpointError, match="chain"):
+            load_checkpoint_chain(paths[-1])
+
+    def test_base_must_carry_views(self, tmp_path):
+        database, events = toy_events()
+        engine = fresh_engine(database)
+        engine.apply_stream(iter(events), batch_size=10)
+        state = engine.export_state()
+        info = write_checkpoint(
+            engine, str(tmp_path / "f.ckpt"), state=state
+        )
+        broken = {k: v for k, v in state.items() if k != "views"}
+        with pytest.raises(CheckpointError, match="views"):
+            write_checkpoint(
+                engine,
+                str(tmp_path / "f.ckpt.inc1"),
+                base=(info, broken),
+                state=state,
+            )
+
+    def test_restore_full_still_works_after_chain(self, tmp_path):
+        # Restoring the chain's *root* ignores the increments entirely.
+        database, events = toy_events()
+        _, paths = write_chain(tmp_path, database, events)
+        quarter = len(events) // 4
+        reference = fresh_engine(database)
+        reference.apply_stream(iter(events[:quarter]), batch_size=10)
+        restored = fresh_engine(database)
+        restore_checkpoint(restored, paths[0])
+        assert restored.result() == reference.result()

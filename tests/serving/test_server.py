@@ -225,8 +225,8 @@ def expected_bodies_by_offset(events, batch_size):
     expected = {}
     original = engine.publish
 
-    def recording(event_offset=None):
-        snapshot = original(event_offset=event_offset)
+    def recording(event_offset=None, window=None):
+        snapshot = original(event_offset=event_offset, window=window)
         expected[event_offset] = strip_volatile(app.handle("/result")[1])
         return snapshot
 
@@ -334,6 +334,69 @@ class TestServeAfterRestore:
         reference = scenario.engine()
         reference.apply_stream(iter(events), batch_size=50)
         assert restored.result().data == reference.result().data
+
+
+class TestTimeAwareServing:
+    """The serve wiring end to end: --engine-* argv -> EngineConfig ->
+    windowed/decayed ingest -> /stats round trip."""
+
+    def _serve_config(self, *extra):
+        from repro.cli import build_parser
+        from repro.config import engine_config_from_args
+
+        return engine_config_from_args(
+            build_parser().parse_args(["serve", *extra])
+        )
+
+    def test_window_argv_reaches_stats_envelope(self):
+        from repro.data import WindowedStream
+
+        config = self._serve_config("--engine-window", "sliding:40/20")
+        assert config.window == "sliding:40/20"
+        scenario = build_serving_scenario("toy", "count")
+        engine = scenario.engine(config=config)
+        engine.publish(event_offset=0)
+        events = WindowedStream(
+            config.window_spec(), scenario.stream(batch_size=25).tuples(100)
+        )
+        ingest = IngestThread(engine, events, batch_size=25)
+        ingest.start()
+        ingest.join(timeout=30)
+        assert ingest.error is None
+        app = ServingApp(engine, position_source=lambda: ingest.consumed)
+        for path in ("/stats", "/healthz", "/result"):
+            status, body = app.handle(path)
+            assert status == 200, path
+            low, high = body["window"]
+            assert high - low <= config.window_spec().size
+            assert high >= 100 - 1  # bounds track the consumed stream
+        # The engine's provenance records the argv-derived config.
+        assert engine.export_state()["config"]["window"] == "sliding:40/20"
+
+    def test_decay_argv_reaches_engine_stats(self):
+        config = self._serve_config("--engine-decay", "0.95/25")
+        assert config.decay == "0.95/25"
+        scenario = build_serving_scenario("toy", "covar")
+        engine = scenario.engine(config=config)
+        engine.publish(event_offset=0)
+        ingest = IngestThread(
+            engine, scenario.stream(batch_size=25).tuples(100), batch_size=25
+        )
+        ingest.start()
+        ingest.join(timeout=30)
+        assert ingest.error is None
+        app = ServingApp(engine, regression_label=scenario.regression_label)
+        status, body = app.handle("/stats")
+        assert status == 200
+        assert body["engine"]["decay_ticks"] == 100 // 25
+        assert "window" not in body  # decay is not a window
+        assert engine.export_state()["config"]["decay"] == "0.95/25"
+
+    def test_unwindowed_serving_carries_no_window_key(self):
+        _, engine, app = scenario_app("count", apply_events=50)
+        for path in ("/stats", "/result"):
+            _status, body = app.handle(path)
+            assert "window" not in body
 
 
 def test_toy_stream_prefix_is_deterministic():

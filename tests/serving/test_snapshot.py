@@ -170,9 +170,9 @@ class TestStalenessBounds:
         offsets = []
         original = engine.publish
 
-        def recording(event_offset=None):
+        def recording(event_offset=None, window=None):
             offsets.append(event_offset)
-            return original(event_offset=event_offset)
+            return original(event_offset=event_offset, window=window)
 
         engine.publish = recording
         engine.apply_stream(iter(events), batch_size=50, publish_batches=True)

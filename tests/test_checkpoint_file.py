@@ -89,6 +89,56 @@ class TestWriteRead:
 
 
 class TestCorruption:
+    def test_zero_byte_file(self, tmp_path):
+        # Crash before the first write, or a touch(1)-created placeholder:
+        # the most common corruption in practice, named for what it is.
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError, match="empty file"):
+            read_checkpoint_info(path)
+        with pytest.raises(CheckpointError, match=str(path)):
+            read_checkpoint(path)
+
+    def test_file_shorter_than_magic(self, tmp_path):
+        path = tmp_path / "short.ckpt"
+        path.write_bytes(MAGIC[:3])
+        with pytest.raises(CheckpointError, match="only 3 bytes"):
+            read_checkpoint_info(path)
+
+    def test_file_ends_inside_header(self, tmp_path):
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path)
+        blob = path.read_bytes()
+        # Cut at the magic: the header pickle is absent entirely ...
+        path.write_bytes(blob[: len(MAGIC)])
+        with pytest.raises(CheckpointError, match="ends inside the header"):
+            read_checkpoint_info(path)
+        # ... and a partial header pickle is surfaced as corruption.
+        path.write_bytes(blob[: len(MAGIC) + 4])
+        with pytest.raises(CheckpointError, match="corrupt checkpoint header"):
+            read_checkpoint_info(path)
+
+    def test_truncated_body_names_the_file(self, tmp_path):
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path, compression="none")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])
+        with pytest.raises(CheckpointError, match="truncated checkpoint"):
+            read_checkpoint(path)
+
+    def test_restore_surfaces_truncation_not_pickle_noise(self, tmp_path):
+        # restore_checkpoint on a damaged file must raise the descriptive
+        # CheckpointError, never a bare EOFError/UnpicklingError.
+        engine = fresh_engine()
+        path = tmp_path / "toy.ckpt"
+        write_checkpoint(engine, path)
+        path.write_bytes(path.read_bytes()[:-25])
+        clone = FIVMEngine(toy_count_query(), order=toy_variable_order())
+        with pytest.raises(CheckpointError, match="truncated|corrupt"):
+            restore_checkpoint(clone, path)
+
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "not.ckpt"
         path.write_bytes(b"definitely not a checkpoint")

@@ -69,6 +69,44 @@ class TestEngineConfigValidation:
         text = EngineConfig(shards=2, transport="shm").describe()
         assert "shards=2" in text and "transport=shm" in text
 
+    def test_window_normalized_and_parsed(self):
+        config = EngineConfig(window="sliding:100/25")
+        assert config.window == "sliding:100/25"
+        spec = config.window_spec()
+        assert (spec.size, spec.slide) == (100, 25)
+        assert EngineConfig(window="tumbling:50").window_spec().slide == 50
+        assert EngineConfig().window_spec() is None
+
+    def test_decay_normalized_and_parsed(self):
+        config = EngineConfig(decay="0.99/1000")
+        assert config.decay == "0.99/1000"
+        spec = config.decay_spec()
+        assert (spec.rate, spec.every) == (0.99, 1000)
+        assert EngineConfig().decay_spec() is None
+
+    def test_bad_window_and_decay_rejected_at_build(self):
+        with pytest.raises(EngineError, match="window"):
+            EngineConfig(window="hopping:10")
+        with pytest.raises(EngineError, match="decay"):
+            EngineConfig(decay="2.0/10")
+
+    def test_window_and_decay_mutually_exclusive(self):
+        with pytest.raises(EngineError, match="mutually exclusive"):
+            EngineConfig(window="tumbling:50", decay="0.99/10")
+
+    def test_describe_mentions_time_semantics(self):
+        assert "window=sliding:64/16" in EngineConfig(
+            window="sliding:64/16"
+        ).describe()
+        assert "decay=0.99/100" in EngineConfig(decay="0.99/100").describe()
+
+    def test_window_and_decay_dict_round_trip(self):
+        for config in (
+            EngineConfig(window="sliding:64/16"),
+            EngineConfig(decay="0.99/100"),
+        ):
+            assert EngineConfig.from_dict(config.to_dict()) == config
+
 
 class TestCreateEngine:
     def test_unsharded_builds_fivm(self):
@@ -174,6 +212,24 @@ class TestCliDerivation:
             ["checkpoint", "load", "x.fivm", "--engine-shards", "3"],
         ):
             assert self._config(argv).shards == 3
+
+    def test_window_and_decay_flags_shared_across_commands(self):
+        for argv in (
+            ["bench", "--engine-window", "sliding:400/200"],
+            ["serve", "--engine-window", "sliding:400/200"],
+            ["checkpoint", "save", "x.fivm", "--engine-window", "sliding:400/200"],
+        ):
+            assert self._config(argv).window == "sliding:400/200"
+        for argv in (
+            ["bench", "--engine-decay", "0.99/500"],
+            ["serve", "--engine-decay", "0.99/500"],
+            ["checkpoint", "load", "x.fivm", "--engine-decay", "0.99/500"],
+        ):
+            assert self._config(argv).decay == "0.99/500"
+
+    def test_bad_window_flag_fails_config_derivation(self):
+        with pytest.raises(EngineError, match="window"):
+            self._config(["bench", "--engine-window", "spinning:9"])
 
 
 class TestConfigProvenance:
