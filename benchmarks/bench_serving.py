@@ -208,8 +208,8 @@ def replay_bodies(
     bodies: Dict[int, Dict[str, Any]] = {}
     original_publish = engine.publish
 
-    def recording_publish(event_offset=None):
-        snapshot = original_publish(event_offset=event_offset)
+    def recording_publish(event_offset=None, **kwargs):
+        snapshot = original_publish(event_offset=event_offset, **kwargs)
         if snapshot.event_offset in wanted:
             status, body = app.handle(verify_endpoint)
             assert status == 200, body

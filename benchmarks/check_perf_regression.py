@@ -51,6 +51,8 @@ def config_key(benchmark: str, record: Dict) -> str:
         "fused",
         "shards",
         "transport",
+        "supervise",
+        "fault",
         "endpoint",
         "readers",
         "stat",

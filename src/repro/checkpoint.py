@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import re
 import tempfile
 import time
 import uuid
@@ -62,6 +63,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import CheckpointError
+from repro.testing import faults as _faults
 
 __all__ = [
     "CheckpointInfo",
@@ -72,6 +74,7 @@ __all__ = [
     "load_checkpoint_chain",
     "resolve_chain_head",
     "remove_stale_increments",
+    "sweep_stale_tmp_files",
     "checkpoint_sink",
 ]
 
@@ -206,14 +209,28 @@ def write_checkpoint(
     fd, tmp_path = tempfile.mkstemp(
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
+    keep_tmp = False
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(MAGIC)
             pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
             handle.write(body)
+        spec = _faults.fire("checkpoint.write")
+        if spec is not None and spec.kind == "crash":
+            # Simulate a process dying between write and rename: the
+            # temp file is orphaned exactly as a SIGKILL here leaves it
+            # (the finally below cannot run in a killed process either).
+            keep_tmp = True
+            raise _faults.InjectedFault(
+                f"injected crash before publishing {path!r}"
+            )
         os.replace(tmp_path, path)
+        spec = _faults.fire("checkpoint.finish")
+        if spec is not None and spec.kind == "truncate":
+            with open(path, "r+b") as handle:
+                handle.truncate(spec.bytes_kept)
     finally:
-        if os.path.exists(tmp_path):  # pragma: no cover - error cleanup
+        if not keep_tmp and os.path.exists(tmp_path):  # pragma: no cover
             os.unlink(tmp_path)
     return _info(path, header, os.path.getsize(path))
 
@@ -304,9 +321,19 @@ def load_checkpoint_chain(path: str) -> Tuple[CheckpointInfo, Dict[str, Any]]:
             raise CheckpointError(
                 f"incremental checkpoint {current.path!r} needs base "
                 f"{base_path!r}, which does not exist — the chain cannot "
-                "be restored"
+                f"be restored; newest restorable full checkpoint: "
+                f"{_newest_restorable_full(path)}"
             )
-        base_info, base_state = read_checkpoint(base_path)
+        try:
+            base_info, base_state = read_checkpoint(base_path)
+        except CheckpointError as exc:
+            # Name the broken link (not just the head the caller asked
+            # for) and where recovery can still restart from.
+            raise CheckpointError(
+                f"checkpoint chain at {os.fspath(path)!r} is broken at "
+                f"link {base_path!r}: {exc}; newest restorable full "
+                f"checkpoint: {_newest_restorable_full(path)}"
+            ) from None
         if (
             base_info.chain_id != current.chain_id
             or base_info.chain_seq != current.chain_seq - 1
@@ -348,6 +375,23 @@ def load_checkpoint_chain(path: str) -> Tuple[CheckpointInfo, Dict[str, Any]]:
         state_out.pop("views_delta", None)
     state_out["views"] = views
     return info, state_out
+
+
+def _newest_restorable_full(path: str) -> str:
+    """Where recovery can restart when a chain link is broken.
+
+    Strips the ``.incN`` suffixes off ``path`` to find the chain's full
+    snapshot and checks it is present and itself a full (non-incremental)
+    checkpoint; ``'none found'`` otherwise.
+    """
+    root = re.sub(r"(\.inc\d+)+$", "", os.fspath(path))
+    try:
+        info = read_checkpoint_info(root)
+    except (OSError, CheckpointError):
+        return "none found"
+    if info.incremental:
+        return "none found"
+    return repr(root)
 
 
 def resolve_chain_head(path: str) -> str:
@@ -414,6 +458,9 @@ def checkpoint_sink(
     written = [0]
 
     def on_checkpoint(engine, events_processed: int) -> None:
+        # Orphans from a previous writer killed mid-write are swept
+        # before this writer stages its own scratch file.
+        sweep_stale_tmp_files(path)
         meta = dict(metadata or {})
         meta["events_processed"] = events_processed
         position = written[0]
@@ -449,6 +496,40 @@ def remove_stale_increments(path: str) -> None:
         except OSError:  # pragma: no cover - concurrent cleanup
             break
         seq += 1
+
+
+def sweep_stale_tmp_files(path: str) -> List[str]:
+    """Remove orphaned write-scratch files next to checkpoint ``path``.
+
+    :func:`write_checkpoint` stages into ``<basename>.<random>.tmp`` and
+    publishes with an atomic rename; every exit path it controls unlinks
+    the scratch file, but a process killed between write and rename
+    leaves it behind. This sweeps scratch files matching ``path`` (and
+    its ``path.incN`` increments) so a crash-looping writer cannot fill
+    the directory with orphans. Only the exact mkstemp pattern is
+    touched — never real checkpoints, whose names carry no ``.tmp``
+    suffix (``resolve_chain_head`` likewise never looks at them).
+    Returns the removed paths.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    pattern = re.compile(
+        re.escape(os.path.basename(path)) + r"(\.inc\d+)?\..+\.tmp"
+    )
+    removed: List[str] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:  # pragma: no cover - directory vanished
+        return removed
+    for name in names:
+        if pattern.fullmatch(name):
+            target = os.path.join(directory, name)
+            try:
+                os.unlink(target)
+            except OSError:  # pragma: no cover - concurrent cleanup
+                continue
+            removed.append(target)
+    return removed
 
 
 def _diff_states(

@@ -27,8 +27,10 @@ Usage (installed entry point or module)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import datetime
 import itertools
+import signal
 import sys
 import time
 from typing import List, Optional
@@ -83,6 +85,33 @@ from repro.serving import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Route SIGTERM through the KeyboardInterrupt unwind path.
+
+    The long-running commands (serve, bench, checkpoint save) already
+    shut down cleanly on Ctrl-C — engines closed, /dev/shm segments
+    unlinked, final checkpoints flushed. `kill` and container stops
+    send SIGTERM, which would otherwise bypass all of that; translating
+    it to KeyboardInterrupt makes both paths identical. Signal handlers
+    can only be installed from the main thread; elsewhere (tests
+    driving main() from a worker thread) this is a no-op.
+    """
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _interrupt)
+    except ValueError:  # pragma: no cover - not the main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _dataset(args):
@@ -275,6 +304,17 @@ def _bench_spec(args, config):
 
 
 def cmd_bench(args) -> int:
+    try:
+        with _graceful_sigterm():
+            return _run_bench(args)
+    except KeyboardInterrupt:
+        # The per-contender finally already closed the live engine (and
+        # its shm segments) on the way out.
+        print("\ninterrupted; engines closed", file=sys.stderr)
+        return 130
+
+
+def _run_bench(args) -> int:
     db, _schemas, order, query_of, factories, targets = _dataset(args)
     config = engine_config_from_args(args)
     window_spec = config.window_spec()
@@ -481,6 +521,17 @@ def _windowed(events, config):
 
 
 def cmd_checkpoint_save(args) -> int:
+    try:
+        with _graceful_sigterm():
+            return _run_checkpoint_save(args)
+    except KeyboardInterrupt:
+        # Periodic snapshots from --every (if any) remain on disk and
+        # restorable; the engine was closed by the inner finally.
+        print("\ninterrupted; engine closed", file=sys.stderr)
+        return 130
+
+
+def _run_checkpoint_save(args) -> int:
     db, _schemas, order, query_of, factories, targets = _dataset(args)
     query = query_of(_checkpoint_spec(args, args.payload))
     stream = UpdateStream(
@@ -670,6 +721,16 @@ def cmd_serve(args) -> int:
     stream = scenario.stream(
         batch_size=args.batch_size, insert_ratio=args.insert_ratio
     )
+    metadata = scenario.provenance(args.batch_size, args.insert_ratio)
+    metadata["updates"] = args.updates
+    if args.checkpoint_every and not args.checkpoint:
+        print("--checkpoint-every requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    on_checkpoint = (
+        checkpoint_sink(args.checkpoint, metadata=metadata)
+        if args.checkpoint_every
+        else None
+    )
     # Windowed serving: the ingest thread consumes the windowed
     # compilation, and apply_stream stamps each published epoch with the
     # live window bounds (surfaced by /stats).
@@ -677,55 +738,108 @@ def cmd_serve(args) -> int:
         engine,
         _windowed(stream.tuples(args.updates), config),
         batch_size=args.batch_size,
+        checkpoint_every=args.checkpoint_every,
+        on_checkpoint=on_checkpoint,
     )
-    metadata = scenario.provenance(args.batch_size, args.insert_ratio)
-    metadata["updates"] = args.updates
+
+    def degraded_reason():
+        # Writer death does not take reads down: readers keep answering
+        # from the last published snapshot, flagged degraded.
+        if ingest.error is not None:
+            return f"ingest writer failed: {ingest.error}"
+        health = engine.health()
+        if health.get("status") not in ("ok", "uninitialized"):
+            return f"engine {health.get('status')}"
+        return None
+
     app = ServingApp(
         engine,
         regression_label=scenario.regression_label,
         mi_label=scenario.mi_label,
         position_source=lambda: ingest.consumed,
         metadata=metadata,
+        degraded_source=degraded_reason,
     )
     server = ServerThread(app, host=args.host, port=args.port)
-    try:
-        server.start()
-        print(
-            f"# serving {args.dataset} ({args.payload} payload"
-            + (f", {args.engine_shards} shards" if args.engine_shards > 1 else "")
-            + f") on {server.url}",
-            flush=True,
-        )
-        print(
-            "endpoints: /covar /predict /model /topk /result /healthz /stats",
-            flush=True,
-        )
-        ingest.start()
-        ingest.join()
-        if ingest.error is not None:
-            print(f"ingest failed: {ingest.error}", file=sys.stderr)
-            return 1
-        snapshot = engine.latest_snapshot()
-        print(
-            f"ingest done: {ingest.consumed} updates in {ingest.seconds:.2f}s "
-            f"({ingest.throughput:.0f} updates/s), epoch {snapshot.epoch} "
-            "published",
-            flush=True,
-        )
-        if args.linger < 0:
-            print("serving until interrupted (Ctrl-C) ...", flush=True)
-            while True:
-                time.sleep(3600)
-        elif args.linger:
-            time.sleep(args.linger)
-    except KeyboardInterrupt:
-        print("\ninterrupted; shutting down", flush=True)
-    finally:
-        server.stop()
-        if isinstance(engine, ShardedEngine):
-            engine.close()
+    exit_code = 0
+    interrupted = False
+    with _graceful_sigterm():
+        try:
+            server.start()
+            print(
+                f"# serving {args.dataset} ({args.payload} payload"
+                + (f", {args.engine_shards} shards" if args.engine_shards > 1 else "")
+                + f") on {server.url}",
+                flush=True,
+            )
+            print(
+                "endpoints: /covar /predict /model /topk /result /healthz /stats",
+                flush=True,
+            )
+            ingest.start()
+            ingest.join()
+            if ingest.error is not None:
+                # Degrade rather than die: /healthz reports degraded with
+                # the failure reason while reads continue from the last
+                # published epoch. The non-zero exit waits for shutdown.
+                exit_code = 1
+                print(
+                    f"ingest failed: {ingest.error}; "
+                    "continuing to serve the last published snapshot "
+                    "(degraded)",
+                    file=sys.stderr,
+                )
+            else:
+                snapshot = engine.latest_snapshot()
+                print(
+                    f"ingest done: {ingest.consumed} updates in "
+                    f"{ingest.seconds:.2f}s "
+                    f"({ingest.throughput:.0f} updates/s), "
+                    f"epoch {snapshot.epoch} published",
+                    flush=True,
+                )
+            if args.linger < 0:
+                print("serving until interrupted (Ctrl-C) ...", flush=True)
+                while True:
+                    time.sleep(3600)
+            elif args.linger:
+                time.sleep(args.linger)
+        except KeyboardInterrupt:
+            interrupted = True
+            print("\ninterrupted; shutting down", flush=True)
+        finally:
+            server.stop()
+            if interrupted and ingest.is_alive():
+                # Stop at the next event boundary, then let the drain
+                # finish so the final checkpoint sees a settled engine.
+                ingest.stop()
+                ingest.join(timeout=60.0)
+            if (
+                args.checkpoint_every
+                and args.checkpoint
+                and ingest.error is None
+                and not ingest.is_alive()
+            ):
+                try:
+                    write_checkpoint(
+                        engine,
+                        args.checkpoint,
+                        metadata=dict(
+                            metadata, events_processed=ingest.consumed
+                        ),
+                    )
+                    remove_stale_increments(args.checkpoint)
+                    print(
+                        f"final checkpoint written to {args.checkpoint} "
+                        f"(position {ingest.consumed})",
+                        flush=True,
+                    )
+                except Exception as exc:  # pragma: no cover - disk full etc.
+                    print(f"final checkpoint failed: {exc}", file=sys.stderr)
+            if isinstance(engine, ShardedEngine):
+                engine.close()
     print(f"served {app.reads} reads ({app.errors} errors)")
-    return 0
+    return exit_code
 
 
 def cmd_checkpoint_info(args) -> int:
@@ -884,6 +998,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=200)
     serve.add_argument("--insert-ratio", type=float, default=0.7)
     add_engine_cli_args(serve)
+    serve.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file for --checkpoint-every and the shutdown flush",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "snapshot the engine to --checkpoint every N ingested updates; "
+            "a final snapshot is also flushed on graceful shutdown "
+            "(0: no checkpointing)"
+        ),
+    )
     serve.add_argument(
         "--linger",
         type=float,

@@ -87,6 +87,19 @@ class EngineConfig:
     #: :class:`~repro.rings.decay.DecayRing`; requires a float-weighted
     #: ring (sum/covar). Mutually exclusive with ``window``.
     decay: Optional[str] = None
+    #: Self-healing shards: keep a coordinator-side replay log and
+    #: respawn dead/hung workers from the last baseline instead of
+    #: fail-stopping (see :mod:`repro.engine.supervisor`). Forces a
+    #: :class:`~repro.engine.sharded.ShardedEngine` even at 1 shard.
+    supervise: bool = False
+    #: Supervision: replay-log bound in logged delta entries; exceeding
+    #: it rebases the baseline (one ``export_state`` gather) and
+    #: truncates the log.
+    replay_log_limit: int = 20000
+    #: Supervision: seconds a worker may stay silent on a synchronous
+    #: reply (or a shared-memory slot) before it is declared hung and
+    #: respawned.
+    heartbeat_timeout: float = 30.0
 
     def __post_init__(self):
         if not isinstance(self.shards, int) or isinstance(self.shards, bool):
@@ -117,9 +130,31 @@ class EngineConfig:
             )
         for name in (
             "columnar_transport", "use_view_index", "adaptive_probe",
-            "use_fused", "profile_stages",
+            "use_fused", "profile_stages", "supervise",
         ):
             object.__setattr__(self, name, bool(getattr(self, name)))
+        try:
+            object.__setattr__(
+                self, "replay_log_limit", int(self.replay_log_limit)
+            )
+        except (TypeError, ValueError):
+            raise EngineError(
+                f"replay_log_limit must be an int, got "
+                f"{self.replay_log_limit!r}"
+            ) from None
+        if self.replay_log_limit < 1:
+            raise EngineError("replay_log_limit must be at least 1")
+        try:
+            object.__setattr__(
+                self, "heartbeat_timeout", float(self.heartbeat_timeout)
+            )
+        except (TypeError, ValueError):
+            raise EngineError(
+                f"heartbeat_timeout must be a number, got "
+                f"{self.heartbeat_timeout!r}"
+            ) from None
+        if self.heartbeat_timeout <= 0:
+            raise EngineError("heartbeat_timeout must be positive")
         if self.window is not None:
             from repro.data.windows import WindowSpec
 
@@ -206,6 +241,8 @@ class EngineConfig:
             parts.append(f"window={self.window}")
         if self.decay is not None:
             parts.append(f"decay={self.decay}")
+        if self.supervise:
+            parts.append("supervise=on")
         return " ".join(parts)
 
 
@@ -230,7 +267,9 @@ def create_engine(query, config: Optional[EngineConfig] = None, order=None):
             f"config must be an EngineConfig, got {type(config).__name__}"
         )
     # Imported lazily: the engine modules import this one at module level.
-    if config.shards > 1:
+    # Supervision lives in the sharded coordinator (it is what respawns
+    # workers), so a supervised config builds one even at a single shard.
+    if config.shards > 1 or config.supervise:
         from repro.engine.sharded import ShardedEngine
 
         return ShardedEngine(query, order=order, config=config)
@@ -380,6 +419,32 @@ def add_engine_cli_args(parser: argparse.ArgumentParser, shards_default: int = 1
             "events (e.g. 0.99/1000; float-weighted rings only)"
         ),
     )
+    group.add_argument(
+        "--engine-supervise",
+        dest="engine_supervise", action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "self-healing shards: respawn dead/hung workers from the last "
+            "baseline + replay log instead of fail-stopping"
+        ),
+    )
+    group.add_argument(
+        "--engine-replay-log-limit",
+        dest="engine_replay_log_limit", type=int, default=20000, metavar="N",
+        help=(
+            "supervision replay-log bound in logged delta entries "
+            "(exceeding it rebases the baseline; default 20000)"
+        ),
+    )
+    group.add_argument(
+        "--engine-heartbeat-timeout",
+        dest="engine_heartbeat_timeout", type=float, default=30.0,
+        metavar="SECONDS",
+        help=(
+            "seconds a worker may stay silent before it is declared hung "
+            "and respawned (default 30)"
+        ),
+    )
 
 
 def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
@@ -406,4 +471,9 @@ def engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
         profile_stages=bool(getattr(args, "engine_profile", False)),
         window=getattr(args, "engine_window", None),
         decay=getattr(args, "engine_decay", None),
+        supervise=bool(getattr(args, "engine_supervise", False)),
+        replay_log_limit=int(getattr(args, "engine_replay_log_limit", 20000)),
+        heartbeat_timeout=float(
+            getattr(args, "engine_heartbeat_timeout", 30.0)
+        ),
     )

@@ -254,6 +254,17 @@ class MaintenanceEngine(ABC):
         first :meth:`publish`); safe to call from reader threads."""
         return self._snapshots.latest
 
+    def health(self) -> Dict[str, Any]:
+        """Liveness/recovery summary for observability endpoints.
+
+        The base engine has no failure modes beyond "not initialized";
+        supervised engines override this with recovery statistics.
+        """
+        return {
+            "status": "ok" if self._initialized else "uninitialized",
+            "supervised": False,
+        }
+
     # ------------------------------------------------------------------
 
     def apply_batch(self, updates: Iterable[Tuple[str, Relation]]) -> None:

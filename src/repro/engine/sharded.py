@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config import EngineConfig, resolve_engine_config
@@ -65,6 +66,7 @@ from repro.data.relation import Relation
 from repro.data.sharding import ShardRouter, shard_hash
 from repro.engine.base import EngineStatistics, MaintenanceEngine
 from repro.engine.fivm import FIVMEngine
+from repro.engine.supervisor import WorkerSupervisor
 from repro.engine.transport import (
     PipeTransport,
     ShardTransport,
@@ -72,8 +74,9 @@ from repro.engine.transport import (
     _ShmOverflow,
     resolve_transport,
 )
-from repro.errors import EngineError
+from repro.errors import EngineError, SupervisionError
 from repro.query.query import Query
+from repro.testing import faults as _faults
 from repro.query.variable_order import VariableOrder
 from repro.viewtree.builder import ShardPlan, build_shard_plan, build_view_tree
 
@@ -202,6 +205,15 @@ class ShardBackend:
 
     def __init__(self):
         self.closed = False
+        #: Supervision state (set by the coordinator when
+        #: ``EngineConfig.supervise`` is on). A supervised backend never
+        #: tears itself down on a dead worker: it marks the shard failed
+        #: and lets :meth:`ShardedEngine._recover` rebuild it in place.
+        self.supervised = False
+        self.heartbeat_timeout: Optional[float] = None
+        self.failed_shards: set = set()
+        self.failures: Dict[int, str] = {}
+        self.incarnations: List[int] = []
 
     @staticmethod
     def _check_seeds(databases, states) -> List:
@@ -218,21 +230,52 @@ class ShardBackend:
                 "the engine again before using it"
             )
 
+    def mark_failed(self, shard: int, message: str) -> None:
+        """Park ``shard`` for recovery (supervised mode only)."""
+        if self.supervised:
+            self.failed_shards.add(shard)
+            self.failures[shard] = message
+
+    def clear_failed(self, shard: int) -> None:
+        self.failed_shards.discard(shard)
+        self.failures.pop(shard, None)
+
+    def kill_callable(self, shard: int) -> Optional[Callable[[], None]]:
+        """A callback that kills ``shard``'s worker, for coordinator-side
+        fault injection sites; ``None`` when shards are in-process."""
+        return None
+
+    def respawn(self, shard: int, state: dict) -> None:
+        raise EngineError(
+            f"{self.name} backend cannot respawn shard {shard}"
+        )  # pragma: no cover - overridden by both backends
+
     def _raise_gather_errors(self, errors: List[str], dead: bool) -> None:
         """Surface per-shard failures as one joined :class:`EngineError`.
 
         When a worker died (``dead``) the request/reply alignment cannot
-        be recovered, so the backend tears itself down first; otherwise
-        it stays usable after the error.
+        be recovered, so an *unsupervised* backend tears itself down
+        first; a supervised one stays open — the dead shards were marked
+        failed and the coordinator respawns them (with a fresh pipe, so
+        alignment is moot) before retrying the gather.
         """
         if errors:
-            if dead:
+            if dead and not self.supervised:
                 self.close()
             raise EngineError("; ".join(errors))
 
 
 class _SerialBackend(ShardBackend):
-    """All shard engines live in the coordinator process."""
+    """All shard engines live in the coordinator process.
+
+    Under supervision an engine that raises plays the role of a crashed
+    worker: the shard is marked failed (the broken engine object is
+    dropped) and :meth:`respawn` rebuilds it from a state slice — the
+    exact recovery path the process backend exercises, minus the fork.
+    The fault-injection hooks fire at the same logical sites as the
+    worker-process ones, so the deterministic fault suite runs the whole
+    matrix on the serial backend too.
+    """
 
     name = "serial"
 
@@ -241,10 +284,16 @@ class _SerialBackend(ShardBackend):
         factory: Callable[[], MaintenanceEngine],
         databases: Optional[List[Database]] = None,
         states: Optional[List[dict]] = None,
+        supervised: bool = False,
+        heartbeat_timeout: Optional[float] = None,
     ):
         super().__init__()
+        self.supervised = supervised
+        self.heartbeat_timeout = heartbeat_timeout
+        self._factory = factory
         seeds = self._check_seeds(databases, states)
         self.engines = [factory() for _ in seeds]
+        self.incarnations = [0] * len(seeds)
         if states is None:
             for engine, database in zip(self.engines, databases):
                 engine.initialize(database)
@@ -252,30 +301,122 @@ class _SerialBackend(ShardBackend):
             for engine, state in zip(self.engines, states):
                 engine.import_state(state)
 
+    def _guard(self, shard: int, op: str, fn: Callable[[], Any]) -> Any:
+        """Run one shard-engine op; under supervision any failure marks
+        the shard dead — the serial analogue of a crashed worker."""
+        if not self.supervised:
+            return fn()
+        if shard in self.failed_shards:
+            raise EngineError(
+                f"shard {shard} engine is down: "
+                f"{self.failures.get(shard, 'failed')}"
+            )
+        try:
+            return fn()
+        except Exception as exc:
+            message = f"shard {shard} engine failed on {op!r}: {exc!r}"
+            self.mark_failed(shard, message)
+            raise EngineError(message) from None
+
     def apply(self, shard: int, relation_name: str, delta: Relation) -> None:
         self._require_open()
-        self.engines[shard].apply(relation_name, delta)
+
+        def run():
+            if _faults.current_injector() is not None:
+                _faults.fire(
+                    "worker.apply", op="apply", shard=shard,
+                    incarnation=self.incarnations[shard],
+                )
+            self.engines[shard].apply(relation_name, delta)
+
+        self._guard(shard, "apply", run)
 
     def advance(self, ticks: int) -> None:
         self._require_open()
-        for engine in self.engines:
-            engine.advance_decay(ticks)
+        if not self.supervised:
+            for engine in self.engines:
+                engine.advance_decay(ticks)
+            return
+        errors = []
+        for shard in range(len(self.engines)):
+            try:
+                self.advance_one(shard, ticks)
+            except EngineError as exc:
+                errors.append(str(exc))
+        if errors:
+            raise EngineError("; ".join(errors))
+
+    def advance_one(self, shard: int, ticks: int) -> None:
+        self._require_open()
+
+        def run():
+            if _faults.current_injector() is not None:
+                _faults.fire(
+                    "worker.advance", op="advance", shard=shard,
+                    incarnation=self.incarnations[shard],
+                )
+            self.engines[shard].advance_decay(ticks)
+
+        self._guard(shard, "advance", run)
+
+    def _collect(self, op: str, fn: Callable[[Any], Any]) -> List[Any]:
+        """Per-shard gather; supervised failures are collected so every
+        healthy shard is still polled (mirrors the process fan-in)."""
+        self._require_open()
+        if not self.supervised:
+            return [fn(engine) for engine in self.engines]
+        out: List[Any] = [None] * len(self.engines)
+        errors = []
+        for shard, engine in enumerate(self.engines):
+            def run(engine=engine, shard=shard):
+                if _faults.current_injector() is not None:
+                    _faults.fire(
+                        "coordinator.gather", op=op, shard=shard,
+                        incarnation=self.incarnations[shard],
+                    )
+                return fn(engine)
+
+            try:
+                out[shard] = self._guard(shard, op, run)
+            except EngineError as exc:
+                errors.append(str(exc))
+        if errors:
+            raise EngineError("; ".join(errors))
+        return out
 
     def results(self) -> List[Dict]:
-        self._require_open()
-        return [engine.result().data for engine in self.engines]
+        return self._collect("result", lambda engine: engine.result().data)
 
     def stats(self) -> List[Dict[str, int]]:
-        self._require_open()
-        return [engine.stats.snapshot() for engine in self.engines]
+        return self._collect("stats", lambda engine: engine.stats.snapshot())
 
     def memory(self) -> List[Dict[str, Dict[str, int]]]:
-        self._require_open()
-        return [engine.memory_report() for engine in self.engines]
+        return self._collect("memory", lambda engine: engine.memory_report())
 
     def export_states(self) -> List[dict]:
+        return self._collect("export", lambda engine: engine.export_state())
+
+    def respawn(self, shard: int, state: dict) -> None:
+        """Rebuild ``shard``'s engine from a re-partitioned state slice."""
         self._require_open()
-        return [engine.export_state() for engine in self.engines]
+        engine = self._factory()
+        engine.import_state(state)
+        self.engines[shard] = engine
+        self.incarnations[shard] += 1
+        # The fresh engine is healthy until proven otherwise; replay
+        # failures re-mark it.
+        self.clear_failed(shard)
+
+    def gather_one(self, shard: int, op: str) -> Any:
+        self._require_open()
+        ops = {
+            "stats": lambda engine: engine.stats.snapshot(),
+            "result": lambda engine: engine.result().data,
+            "ping": lambda engine: "pong",
+        }
+        return self._guard(
+            shard, op, lambda: ops[op](self.engines[shard])
+        )
 
     def close(self) -> None:
         self.engines = []
@@ -345,7 +486,7 @@ def _serve_tree(conn, endpoint, engine, op, seq, failure, broadcast_views):
 
 def _shard_worker(
     conn, factory, database, state=None, endpoint=None, broadcast_views=(),
-    inherited=(),
+    inherited=(), shard=-1, incarnation=0,
 ) -> None:
     """Worker loop: build the engine, then serve the coordinator's pipe.
 
@@ -420,6 +561,25 @@ def _shard_worker(
             or op == "advance"
         )
         try:
+            if _faults.current_injector() is not None and failure is None:
+                # Deterministic fault sites (no-ops without an injector):
+                # a "kill" spec dies the way a crashed process dies, a
+                # "raise" spec becomes a parked failure below.
+                if op == "apply" or op == "applyc" or op == "applyd":
+                    _faults.fire(
+                        "worker.apply", op=op, shard=shard,
+                        incarnation=incarnation, kill=_faults.exit_worker,
+                    )
+                elif op == "advance":
+                    _faults.fire(
+                        "worker.advance", op=op, shard=shard,
+                        incarnation=incarnation, kill=_faults.exit_worker,
+                    )
+                else:
+                    _faults.fire(
+                        "worker.reply", op=op, shard=shard,
+                        incarnation=incarnation, kill=_faults.exit_worker,
+                    )
             if failure is not None:
                 if op == "applyd":
                     # Keep the ring flow control moving even while parked.
@@ -446,12 +606,18 @@ def _shard_worker(
                 engine.apply(relation_name, delta)
             elif op == "applyd":
                 # Shared-memory wire form: the pipe carried only the
-                # generation and block layout; the bytes are in the ring.
+                # generation, block layout and a checksum; the bytes are
+                # in the ring. A checksum mismatch (torn write) parks the
+                # worker with a descriptive failure instead of decoding
+                # garbage into the views.
                 relation_name, generation, layout = (
                     message[1], message[2], message[3]
                 )
+                nbytes = message[4] if len(message) > 4 else None
+                crc = message[5] if len(message) > 5 else None
                 delta = endpoint.read_delta(
-                    schemas[relation_name], relation_name, generation, layout
+                    schemas[relation_name], relation_name, generation,
+                    layout, nbytes, crc,
                 )
                 engine.apply(relation_name, delta)
             elif op == "advance":
@@ -461,6 +627,10 @@ def _shard_worker(
                 engine.advance_decay(message[1])
             elif op == "result":
                 conn.send(("ok", engine.result().data))
+            elif op == "ping":
+                # Liveness probe (supervised gathers); also the recovery
+                # barrier that flushes a respawned shard's replay queue.
+                conn.send(("ok", "pong"))
             elif op == "stats":
                 conn.send(("ok", engine.stats.snapshot()))
             elif op == "memory":
@@ -503,13 +673,21 @@ class _ProcessBackend(ShardBackend):
         states: Optional[List[dict]] = None,
         transport: Optional[ShardTransport] = None,
         broadcast_views: Tuple[str, ...] = (),
+        supervised: bool = False,
+        heartbeat_timeout: Optional[float] = None,
     ):
         super().__init__()
-        seeds = self._check_seeds(databases, states)
-        context = multiprocessing.get_context("fork")
+        self.supervised = supervised
+        self.heartbeat_timeout = heartbeat_timeout
+        self._factory = factory
+        self._broadcast_views = broadcast_views
+        self._context = multiprocessing.get_context("fork")
+        context = self._context
         self.transport = transport if transport is not None else PipeTransport()
         self.connections = []
         self.processes = []
+        seeds = self._check_seeds(databases, states)
+        self.incarnations = [0] * len(seeds)
         try:
             self.transport.setup(len(seeds))
             for shard, seed in enumerate(seeds):
@@ -524,6 +702,7 @@ class _ProcessBackend(ShardBackend):
                         self.transport.worker_endpoint(shard),
                         broadcast_views,
                         (*self.connections, parent_conn),
+                        shard, 0,
                     ),
                     daemon=True,
                 )
@@ -556,10 +735,21 @@ class _ProcessBackend(ShardBackend):
         pipe wire and the shm rings, a :class:`Relation` otherwise.
         """
         self._require_open()
+        alive = self.processes[shard].is_alive
+        if self.supervised and self.heartbeat_timeout:
+            # A *hung* (not dead) worker never consumes its ring slot;
+            # bound the transport's wait so the supervisor can declare
+            # the shard unresponsive and respawn it.
+            deadline = time.monotonic() + self.heartbeat_timeout
+
+            def alive_fn():
+                return alive() and time.monotonic() < deadline
+        else:
+            alive_fn = alive
         try:
             self.transport.send_delta(
                 self.connections[shard], shard, relation_name, delta,
-                alive=self.processes[shard].is_alive,
+                alive=alive_fn,
             )
         except (BrokenPipeError, OSError) as exc:
             raise EngineError(f"shard {shard} worker is gone: {exc!r}") from None
@@ -582,7 +772,11 @@ class _ProcessBackend(ShardBackend):
                 ) from None
 
     def results(self) -> List[Dict]:
-        if self.transport.tree_gather:
+        # Supervised gathers fan in over the pipes even when the
+        # transport offers tree merges: a worker dying mid tree-merge
+        # would poison its partners, and the fan-in fold is the same
+        # pairwise_fold the tree runs, so the bits match either way.
+        if self.transport.tree_gather and not self.supervised:
             return [self._gather_tree("tresult")]
         return self._gather("result")
 
@@ -593,9 +787,86 @@ class _ProcessBackend(ShardBackend):
         return self._gather("memory")
 
     def export_states(self) -> List[dict]:
-        if self.transport.tree_gather:
+        if self.transport.tree_gather and not self.supervised:
             return [{"views": self._gather_tree("texport")}]
         return self._gather("export")
+
+    def kill_callable(self, shard: int) -> Optional[Callable[[], None]]:
+        process = self.processes[shard]
+        if process.pid is None:  # pragma: no cover - defensive
+            return None
+        return _faults.kill_process(process.pid)
+
+    def respawn(self, shard: int, state: dict) -> None:
+        """Replace ``shard``'s worker with a fresh fork seeded from
+        ``state`` (a re-partitioned baseline slice).
+
+        The old process is SIGKILLed if still technically alive (it may
+        be hung rather than dead), its pipe is closed, and the
+        transport's per-shard segments are rebuilt so the new worker
+        starts from generation zero — no ring state survives the old
+        incarnation.
+        """
+        self._require_open()
+        old_process = self.processes[shard]
+        old_conn = self.connections[shard]
+        if old_process.is_alive():
+            old_process.kill()
+        old_process.join(timeout=5.0)
+        try:
+            old_conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.transport.reset_shard(shard)
+        incarnation = self.incarnations[shard] + 1
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        inherited = tuple(
+            conn for index, conn in enumerate(self.connections)
+            if index != shard
+        ) + (parent_conn,)
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(
+                child_conn, self._factory, None, state,
+                self.transport.worker_endpoint(shard),
+                self._broadcast_views, inherited, shard, incarnation,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.connections[shard] = parent_conn
+        self.processes[shard] = process
+        self.incarnations[shard] = incarnation
+        status, payload = self._receive(shard, parent_conn)
+        if status != "ok":
+            raise EngineError(f"shard {shard}: {payload}")
+        # The fresh worker is healthy until proven otherwise; replay
+        # failures re-mark it.
+        self.clear_failed(shard)
+
+    def advance_one(self, shard: int, ticks: int) -> None:
+        self._require_open()
+        try:
+            self.connections[shard].send(("advance", ticks))
+        except (BrokenPipeError, OSError) as exc:
+            raise EngineError(
+                f"shard {shard} worker is gone: {exc!r}"
+            ) from None
+
+    def gather_one(self, shard: int, op: str) -> Any:
+        """One synchronous request/reply exchange with a single shard."""
+        self._require_open()
+        try:
+            self.connections[shard].send((op,))
+        except (BrokenPipeError, OSError) as exc:
+            raise EngineError(
+                f"shard {shard} worker is gone: {exc!r}"
+            ) from None
+        status, payload = self._receive(shard, self.connections[shard])
+        if status != "ok":
+            raise EngineError(f"shard {shard}: {payload}")
+        return payload
 
     def close(self) -> None:
         for conn in self.connections:
@@ -634,11 +905,30 @@ class _ProcessBackend(ShardBackend):
         errors: List[str] = []
         dead = False
         for shard, conn in enumerate(self.connections):
+            if self.supervised and shard in self.failed_shards:
+                errors.append(
+                    f"shard {shard}: {self.failures.get(shard, 'failed')}"
+                )
+                continue
+            if self.supervised and _faults.current_injector() is not None:
+                try:
+                    _faults.fire(
+                        "coordinator.gather", op=op, shard=shard,
+                        incarnation=self.incarnations[shard],
+                        kill=self.kill_callable(shard),
+                    )
+                except _faults.InjectedFault as exc:
+                    message = f"shard {shard}: {exc}"
+                    errors.append(message)
+                    self.mark_failed(shard, message)
+                    continue
             try:
                 conn.send((op,))
                 sent.append((shard, conn))
             except (BrokenPipeError, OSError) as exc:
-                errors.append(f"shard {shard} worker is gone: {exc!r}")
+                message = f"shard {shard} worker is gone: {exc!r}"
+                errors.append(message)
+                self.mark_failed(shard, message)
                 dead = True
         results: List[Any] = [None] * len(self.connections)
         for shard, conn in sent:
@@ -646,10 +936,13 @@ class _ProcessBackend(ShardBackend):
                 status, payload = self._receive(shard, conn)
             except EngineError as exc:
                 errors.append(str(exc))
+                self.mark_failed(shard, str(exc))
                 dead = True
                 continue
             if status != "ok":
-                errors.append(f"shard {shard}: {payload}")
+                message = f"shard {shard}: {payload}"
+                errors.append(message)
+                self.mark_failed(shard, message)
             else:
                 results[shard] = payload
         self._raise_gather_errors(errors, dead)
@@ -718,13 +1011,47 @@ class _ProcessBackend(ShardBackend):
         )
 
     def _receive(self, shard: int, conn) -> Tuple[str, Any]:
-        """One raw ``(status, payload)`` reply; EOF means the worker died."""
-        try:
-            return conn.recv()
-        except EOFError:
-            raise EngineError(
-                f"shard {shard} worker died without replying"
-            ) from None
+        """One raw ``(status, payload)`` reply; EOF means the worker died.
+
+        Supervised mode polls instead of blocking: a worker that died
+        without closing its pipe end — or one that is alive but hung past
+        ``heartbeat_timeout`` — is detected and reported instead of
+        blocking the coordinator forever.
+        """
+        if not self.supervised:
+            try:
+                return conn.recv()
+            except EOFError:
+                raise EngineError(
+                    f"shard {shard} worker died without replying"
+                ) from None
+        timeout = self.heartbeat_timeout or 30.0
+        deadline = time.monotonic() + timeout
+        while True:
+            # A SIGKILLed worker surfaces as EOFError or a reset/broken
+            # pipe (OSError) depending on how much it had buffered.
+            try:
+                if conn.poll(0.02):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise EngineError(
+                    f"shard {shard} worker died without replying"
+                ) from None
+            if not self.processes[shard].is_alive():
+                # Drain any reply that raced the process exit.
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise EngineError(
+                    f"shard {shard} worker died without replying"
+                ) from None
+            if time.monotonic() > deadline:
+                raise EngineError(
+                    f"shard {shard} worker unresponsive: no reply within "
+                    f"the heartbeat timeout ({timeout:g}s)"
+                )
 
 
 # ----------------------------------------------------------------------
@@ -814,6 +1141,13 @@ class ShardedEngine(MaintenanceEngine):
         ))
         self._backend = None
         self._was_closed = False
+        #: Self-healing state (None when ``config.supervise`` is off):
+        #: baseline snapshot + replay log + recovery budget. See
+        #: :mod:`repro.engine.supervisor`.
+        self.supervisor: Optional[WorkerSupervisor] = (
+            WorkerSupervisor(config.replay_log_limit, config.heartbeat_timeout)
+            if config.supervise else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -843,15 +1177,22 @@ class ShardedEngine(MaintenanceEngine):
 
     def _make_backend(self, **seeds) -> None:
         factory = self._engine_factory()
+        supervised = self.supervisor is not None
+        heartbeat = self.config.heartbeat_timeout if supervised else None
         if self.backend_name == "process":
             self._backend = _ProcessBackend(
                 factory,
                 transport=self._make_transport(),
                 broadcast_views=self._broadcast_only_views,
+                supervised=supervised,
+                heartbeat_timeout=heartbeat,
                 **seeds,
             )
         else:
-            self._backend = _SerialBackend(factory, **seeds)
+            self._backend = _SerialBackend(
+                factory, supervised=supervised,
+                heartbeat_timeout=heartbeat, **seeds,
+            )
         self._was_closed = False
 
     def initialize(self, database: Database) -> None:
@@ -860,11 +1201,19 @@ class ShardedEngine(MaintenanceEngine):
         self.stats = EngineStatistics()
         self._initialized = True
         self._refresh_view_sizes()
+        if self.supervisor is not None:
+            # Capture the recovery baseline: the same global normal form
+            # checkpoints export (the export_state override feeds it to
+            # the supervisor, and every later export refreshes it).
+            self.export_state()
 
     def apply(self, relation_name: str, delta: Relation) -> None:
         self._require_initialized()
         self._check_delta(relation_name, delta)
         if not delta.data:
+            return
+        if self.supervisor is not None:
+            self._apply_supervised(relation_name, delta)
             return
         self.stats.record_batch(delta)
         if (
@@ -883,6 +1232,55 @@ class ShardedEngine(MaintenanceEngine):
         for shard, sub_delta in self.router.split(relation_name, delta):
             self._backend.apply(shard, relation_name, sub_delta)
 
+    def _apply_supervised(self, relation_name: str, delta: Relation) -> None:
+        """Routed apply with failure containment.
+
+        The batch is recorded into the replay log *pre-split* (one
+        shallow dict copy), then routed exactly as the unsupervised path
+        routes it. A shard that fails mid-batch is marked and skipped for
+        the rest of the batch — it will be rebuilt from baseline + log,
+        which re-delivers this very batch through the same deterministic
+        router split, so the recovered shard sees exactly the sub-deltas
+        it missed and the root view stays bit-identical.
+        """
+        supervisor = self.supervisor
+        if supervisor.needs_rebase():
+            # The log outgrew its bound: refresh the baseline (one export
+            # gather, which truncates the log as a side effect).
+            self.export_state()
+        supervisor.record_delta(relation_name, delta.data)
+        self.stats.record_batch(delta)
+        backend = self._backend
+        columnar = (
+            self.backend_name == "process"
+            and backend.transport.wants_columnar
+        )
+        if columnar:
+            routed = self.router.split_columnar(
+                relation_name, delta.columnar()
+            )
+        else:
+            routed = self.router.split(relation_name, delta)
+        injector_on = _faults.current_injector() is not None
+        for shard, sub in routed:
+            if shard in backend.failed_shards:
+                continue
+            try:
+                if injector_on:
+                    _faults.fire(
+                        "coordinator.send", op="apply", shard=shard,
+                        incarnation=backend.incarnations[shard],
+                        kill=backend.kill_callable(shard),
+                    )
+                if columnar:
+                    backend.apply_delta(shard, relation_name, sub)
+                else:
+                    backend.apply(shard, relation_name, sub)
+            except (EngineError, _faults.InjectedFault) as exc:
+                backend.mark_failed(shard, str(exc))
+        if backend.failed_shards:
+            self._recover()
+
     def result(self) -> Relation:
         """Ring-additive merge of the per-shard root views.
 
@@ -900,7 +1298,8 @@ class ShardedEngine(MaintenanceEngine):
         ring = self.tree.plan.ring
         merged = Relation(root.key, ring, name=root.name)
         merged.data = _merge_root_states(
-            self._backend.results(), root.key, ring
+            self._gather_with_recovery(lambda: self._backend.results()),
+            root.key, ring,
         )
         return merged
 
@@ -931,6 +1330,8 @@ class ShardedEngine(MaintenanceEngine):
         self._require_initialized()
         try:
             return super().publish(event_offset=event_offset, window=window)
+        except SupervisionError:
+            raise
         except EngineError as exc:
             raise EngineError(f"publish failed: {exc}") from None
 
@@ -947,20 +1348,44 @@ class ShardedEngine(MaintenanceEngine):
 
         Fire-and-forget like applies: the next synchronous gather
         (``result``/``publish``/``export_state``) is the barrier that
-        guarantees every shard observed the tick.
+        guarantees every shard observed the tick. Supervised engines log
+        the tick (replayed in stream order during recovery, so a rebuilt
+        shard's decay clock lands on the same value) and contain
+        per-shard failures exactly as :meth:`_apply_supervised` does.
         """
         if self.config.decay is None:
             super().advance_decay(ticks)
         self._require_initialized()
-        self._backend.advance(ticks)
+        if self.supervisor is None:
+            self._backend.advance(ticks)
+            self.stats.decay_ticks += ticks
+            return
+        self.supervisor.record_advance(ticks)
         self.stats.decay_ticks += ticks
+        backend = self._backend
+        injector_on = _faults.current_injector() is not None
+        for shard in range(self.shards):
+            if shard in backend.failed_shards:
+                continue
+            try:
+                if injector_on:
+                    _faults.fire(
+                        "coordinator.send", op="advance", shard=shard,
+                        incarnation=backend.incarnations[shard],
+                        kill=backend.kill_callable(shard),
+                    )
+                backend.advance_one(shard, ticks)
+            except (EngineError, _faults.InjectedFault) as exc:
+                backend.mark_failed(shard, str(exc))
+        if backend.failed_shards:
+            self._recover()
 
     # ------------------------------------------------------------------
 
     def shard_stats(self) -> List[Dict[str, int]]:
         """Per-shard maintenance counter snapshots, in shard order."""
         self._require_initialized()
-        return self._backend.stats()
+        return self._gather_with_recovery(lambda: self._backend.stats())
 
     def aggregate_stats(self) -> Dict[str, int]:
         """Summed per-shard counters (``view:*`` entries sum entry counts).
@@ -988,7 +1413,7 @@ class ShardedEngine(MaintenanceEngine):
         """Per-view totals across shards (entries, payload weight, indexes)."""
         self._require_initialized()
         merged: Dict[str, Dict[str, int]] = {}
-        for report in self._backend.memory():
+        for report in self._gather_with_recovery(lambda: self._backend.memory()):
             for view_name, entry in report.items():
                 target = merged.setdefault(view_name, {})
                 for field, value in entry.items():
@@ -1067,7 +1492,11 @@ class ShardedEngine(MaintenanceEngine):
         realigned by the backend, and the error names the failed shard.
         """
         try:
-            states = self._backend.export_states()
+            states = self._gather_with_recovery(
+                lambda: self._backend.export_states()
+            )
+        except SupervisionError:
+            raise
         except EngineError as exc:
             raise EngineError(f"export_state failed: {exc}") from None
         ring = self.tree.plan.ring
@@ -1101,6 +1530,16 @@ class ShardedEngine(MaintenanceEngine):
                 f"snapshot does not match the view tree "
                 f"(missing={sorted(missing)}, unexpected={sorted(unexpected)})"
             )
+        shard_states = self._shard_states_from_views(views)
+        self.close()
+        self._make_backend(states=shard_states)
+        if self.supervisor is not None:
+            # The restored snapshot is the recovery baseline until the
+            # next export refreshes it.
+            self.supervisor.accept_baseline(views)
+
+    def _shard_states_from_views(self, views: Dict[str, Dict]) -> List[dict]:
+        """Per-shard importable state dicts from a global views snapshot."""
         shard_views = self._partition_views(views)
         header = {
             "format_version": self.STATE_FORMAT_VERSION,
@@ -1108,17 +1547,132 @@ class ShardedEngine(MaintenanceEngine):
             "strategy": FIVMEngine.strategy,
             "query": self.query.name,
         }
-        shard_states = [
+        return [
             # Per-shard maintenance counters restart at zero; the
             # coordinator's restored stats carry the logical stream totals.
             dict(header, views=per_shard, stats={})
             for per_shard in shard_views
         ]
-        self.close()
-        self._make_backend(states=shard_states)
+
+    def export_state(self) -> Dict[str, Any]:
+        state = super().export_state()
+        if self.supervisor is not None:
+            # Every export is a fresh recovery baseline: the replay log
+            # restarts empty, so checkpoints double as log truncation.
+            self.supervisor.accept_baseline(state["views"])
+        return state
 
     def _after_restore(self) -> None:
         self._refresh_view_sizes()
+
+    # ------------------------------------------------------------------
+    # Supervision: recovery
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Engine liveness plus supervisor recovery statistics."""
+        report = super().health()
+        if self.supervisor is not None:
+            report["supervised"] = True
+            report.update(self.supervisor.health())
+            backend = self._backend
+            if backend is not None and backend.failed_shards:
+                report["status"] = "recovering"
+                report["failed_shards"] = sorted(backend.failed_shards)
+        return report
+
+    def _gather_with_recovery(self, gather: Callable[[], Any]) -> Any:
+        """Run a synchronous gather, healing failed shards and retrying.
+
+        Unsupervised engines call the gather straight through. Supervised
+        ones retry after each recovery round; gathers are read-only, so a
+        retry is idempotent. An error with *no* shard marked failed is a
+        logic error (or a closed backend) and propagates as-is; the
+        recovery budget inside :meth:`_recover` bounds the loop.
+        """
+        if self.supervisor is None:
+            return gather()
+        while True:
+            try:
+                return gather()
+            except SupervisionError:
+                raise
+            except EngineError:
+                backend = self._backend
+                if backend is None or not backend.failed_shards:
+                    raise
+                self._recover()
+
+    def _recover(self) -> None:
+        """Rebuild every failed shard: respawn from the re-partitioned
+        baseline, replay the post-baseline log, rejoin the fleet.
+
+        Runs under the supervisor's budget: each round of recoveries
+        counts toward ``MAX_CONSECUTIVE_RECOVERIES`` (with exponential
+        backoff between rounds) and a blown budget closes the engine and
+        raises :class:`SupervisionError` — fail-stop stays the backstop.
+        """
+        supervisor = self.supervisor
+        backend = self._backend
+        if supervisor is None or backend is None:
+            return
+        while backend.failed_shards:
+            failed = sorted(backend.failed_shards)
+            error = "; ".join(
+                backend.failures.get(shard, f"shard {shard} failed")
+                for shard in failed
+            )
+            started = time.monotonic()
+            try:
+                supervisor.begin_recovery(failed, error)
+            except SupervisionError:
+                self.close()
+                raise
+            success = True
+            try:
+                shard_states = self._shard_states_from_views(
+                    supervisor.baseline_views()
+                )
+                for shard in failed:
+                    try:
+                        backend.respawn(shard, state=shard_states[shard])
+                        self._replay_shard(shard)
+                        backend.clear_failed(shard)
+                    except (EngineError, _faults.InjectedFault) as exc:
+                        backend.mark_failed(
+                            shard, f"recovery of shard {shard} failed: {exc}"
+                        )
+                        success = False
+            except SupervisionError:
+                supervisor.end_recovery(time.monotonic() - started, False)
+                self.close()
+                raise
+            supervisor.end_recovery(time.monotonic() - started, success)
+
+    def _replay_shard(self, shard: int) -> None:
+        """Re-deliver the post-baseline log to a freshly respawned shard.
+
+        Each logged delta is re-split through the deterministic router
+        and only ``shard``'s slice is delivered (dict wire form: the dict
+        and columnar forms build identical engine state, so replay is
+        bit-compatible with whatever transport carried the original).
+        The trailing stats gather is the barrier that flushes the
+        fire-and-forget replay queue and surfaces any parked failure.
+        """
+        backend = self._backend
+        schemas = self.router.schemas
+        for entry in self.supervisor.log.entries:
+            if entry[0] == "advance":
+                backend.advance_one(shard, entry[1])
+                continue
+            _kind, name, data = entry
+            delta = Relation(schemas[name], name=name)
+            delta.data = data
+            for target, sub in self.router.split(name, delta):
+                if target == shard:
+                    backend.apply(shard, name, sub)
+                    break
+        backend.gather_one(shard, "stats")
 
     def _view_relations(self) -> Dict[str, set]:
         """``view name -> base relations in its subtree`` (bottom-up)."""

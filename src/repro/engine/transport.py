@@ -46,12 +46,14 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import zlib
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.data.columnar import ColumnarDelta, decode_blocks
 from repro.errors import EngineError
+from repro.testing import faults as _faults
 
 try:  # stdlib everywhere we support; guarded for exotic builds
     from multiprocessing import shared_memory as _shared_memory
@@ -229,6 +231,10 @@ class ShardTransport:
     ) -> None:
         raise NotImplementedError
 
+    def reset_shard(self, shard: int) -> None:
+        """Forget per-shard wire state before a respawned worker attaches
+        (fresh segments/generations where the transport keeps any)."""
+
     def close(self) -> None:
         raise NotImplementedError
 
@@ -341,6 +347,25 @@ class SharedMemoryTransport(ShardTransport):
             poll_interval=self.POLL_INTERVAL,
         )
 
+    def reset_shard(self, shard: int) -> None:
+        """Fresh down ring for a respawned worker.
+
+        The dead worker may have left any consumed-generation watermark
+        in the old ring's header, so the coordinator swaps in a brand-new
+        (zero-filled) segment and restarts the shard's generation clock;
+        ``worker_endpoint`` then hands the respawned worker the new name.
+        The old segment is unlinked — the dead worker's mapping (if the
+        process is only now being reaped) cannot leak it.
+        """
+        replacement = self._create(
+            _HEADER_BYTES + 2 * self._down_slot[shard]
+        )
+        old = self._down[shard]
+        self._down[shard] = replacement
+        self._next_gen[shard] = 1
+        old.close()
+        old.unlink()
+
     def close(self) -> None:
         """Unlink every segment (idempotent; safe mid-construction)."""
         if self._closed:
@@ -365,7 +390,23 @@ class SharedMemoryTransport(ShardTransport):
         segment = self._down[shard]
         offset = _HEADER_BYTES + (generation % 2) * self._down_slot[shard]
         layout = blocks.write_into(segment.buf, offset)
-        conn.send(("applyd", relation_name, generation, layout))
+        # Checksum over the staged region: the worker verifies before
+        # decoding, so a torn write (a writer dying mid-copy, a stray
+        # remote corruption) surfaces as a descriptive shard failure
+        # instead of silently wrong view state.
+        crc = (
+            zlib.crc32(segment.buf[offset:offset + blocks.nbytes])
+            if blocks.nbytes
+            else 0
+        )
+        if _faults.current_injector() is not None:
+            spec = _faults.fire("shm.write", shard=shard)
+            if spec is not None and spec.kind == "torn" and blocks.nbytes:
+                mid = offset + blocks.nbytes // 2
+                segment.buf[mid] = (segment.buf[mid] + 1) & 0xFF
+        conn.send(
+            ("applyd", relation_name, generation, layout, blocks.nbytes, crc)
+        )
         self._next_gen[shard] = generation + 1
 
     def _wait_consumed(self, shard, target, alive, what) -> None:
@@ -533,16 +574,33 @@ class ShmWorkerEndpoint:
 
     # -- down: delta intake ---------------------------------------------
 
-    def read_delta(self, schema, relation_name, generation, layout):
+    def read_delta(
+        self, schema, relation_name, generation, layout,
+        nbytes: Optional[int] = None, crc: Optional[int] = None,
+    ):
         """Decode one delta out of its slot, then release the slot.
 
-        The decode copies every block (the returned relation owns its
-        data), so marking the generation consumed — which licenses the
-        coordinator to overwrite the slot — is safe in ``finally`` even
-        when decoding raises.
+        When the coordinator sent a checksum, the staged region is
+        verified *before* decoding — a torn write raises a descriptive
+        :class:`EngineError` (parked like any apply failure) instead of
+        feeding corrupt blocks into maintenance. The decode copies every
+        block (the returned relation owns its data), so marking the
+        generation consumed — which licenses the coordinator to
+        overwrite the slot — is safe in ``finally`` even when decoding
+        raises.
         """
         segment = self._down_segment()
         try:
+            if crc is not None and nbytes:
+                _length, entries = layout
+                start = entries[0][2] if entries else 0
+                actual = zlib.crc32(segment.buf[start:start + nbytes])
+                if actual != crc:
+                    raise EngineError(
+                        f"torn shared-memory delta for {relation_name!r} "
+                        f"(shard {self.shard}, generation {generation}: "
+                        f"checksum mismatch)"
+                    )
             delta = decode_blocks(
                 schema, segment.buf, layout, name=relation_name
             )

@@ -35,3 +35,10 @@ class EngineError(FIVMError):
 class CheckpointError(FIVMError):
     """Unreadable or incompatible on-disk checkpoint (bad magic, truncated
     payload, unknown file version, unsupported compression)."""
+
+
+class SupervisionError(EngineError):
+    """Worker recovery itself failed: the respawn budget is exhausted or
+    the supervisor has no baseline to rebuild a shard from. The engine is
+    closed when this is raised — fail-stop is the fallback behind the
+    self-healing path."""

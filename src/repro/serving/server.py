@@ -100,6 +100,14 @@ class ServingApp:
         Provenance dict echoed under ``/stats`` — ``repro serve`` puts
         the dataset/seed/batch-size recipe here so an external reader
         can rebuild the exact stream and verify served results.
+    degraded_source:
+        Zero-argument callable returning a human-readable reason when
+        serving is *degraded* — the writer died or the engine is mid
+        recovery — and ``None`` when healthy. Degraded serving stays up:
+        data endpoints keep answering from the last published snapshot
+        and ``/healthz``/``/stats`` report ``degraded: true`` with the
+        reason and staleness instead of failing, so load balancers see a
+        live-but-stale replica, not an outage.
     """
 
     def __init__(
@@ -109,11 +117,13 @@ class ServingApp:
         mi_label: Optional[str] = None,
         position_source: Optional[Callable[[], int]] = None,
         metadata: Optional[Mapping[str, Any]] = None,
+        degraded_source: Optional[Callable[[], Optional[str]]] = None,
     ):
         self.engine = engine
         self.regression_label = regression_label
         self.mi_label = mi_label
         self.position_source = position_source
+        self.degraded_source = degraded_source
         self.metadata = dict(metadata or {})
         spec = engine.query.spec
         self._is_covar = isinstance(spec, CovarSpec)
@@ -204,6 +214,15 @@ class ServingApp:
             return None
         return int(self.position_source())
 
+    def _degraded_reason(self) -> Optional[str]:
+        if self.degraded_source is None:
+            return None
+        try:
+            reason = self.degraded_source()
+        except Exception as exc:  # pragma: no cover - defensive
+            return f"degraded-source probe failed: {exc!r}"
+        return None if reason is None else str(reason)
+
     def handle(
         self, path: str, params: Optional[Mapping[str, str]] = None
     ) -> Tuple[int, Dict[str, Any]]:
@@ -253,11 +272,20 @@ class ServingApp:
 
     def _healthz(self) -> Tuple[int, Dict[str, Any]]:
         snapshot = self.engine.latest_snapshot()
+        reason = self._degraded_reason()
         body: Dict[str, Any] = {
-            "status": "ok" if snapshot is not None else "warming",
+            # Degraded is still 200: the replica answers reads from its
+            # last snapshot, which is exactly what it advertises here.
+            "status": (
+                "degraded" if reason is not None
+                else "ok" if snapshot is not None else "warming"
+            ),
+            "degraded": reason is not None,
             "strategy": self.engine.strategy,
             "query": self.engine.query.name,
         }
+        if reason is not None:
+            body["degraded_reason"] = reason
         position = self._position()
         if position is not None:
             body["position"] = position
@@ -270,6 +298,7 @@ class ServingApp:
 
     def _stats(self) -> Tuple[int, Dict[str, Any]]:
         snapshot = self.engine.latest_snapshot()
+        reason = self._degraded_reason()
         body: Dict[str, Any] = {
             "serving": {
                 "reads": self.reads,
@@ -277,8 +306,15 @@ class ServingApp:
                 "by_endpoint": dict(self.reads_by_endpoint),
                 "uptime_s": round(time.time() - self._started_at, 3),
             },
+            "degraded": reason is not None,
             "metadata": dict(self.metadata),
         }
+        if reason is not None:
+            body["degraded_reason"] = reason
+        try:
+            body["health"] = self.engine.health()
+        except Exception:  # pragma: no cover - defensive
+            pass
         position = self._position()
         if position is not None:
             body["position"] = position
@@ -560,6 +596,14 @@ class IngestThread(threading.Thread):
     on small machines an unpaced writer starves the reader event loop —
     one explicit yield per batch keeps read tail latency bounded without
     measurably slowing ingest. Pass ``pace=None`` to never yield.
+
+    ``checkpoint_every``/``on_checkpoint`` pass straight through to
+    :meth:`~repro.engine.base.MaintenanceEngine.apply_stream` — the
+    serving writer can persist periodic snapshots exactly as the batch
+    CLI does. :meth:`stop` requests a graceful drain: the stream cuts
+    off at the next event boundary (already-consumed events stay
+    applied), so signal handlers can stop ingest, flush a final
+    checkpoint and close the engine deterministically.
     """
 
     def __init__(
@@ -569,18 +613,33 @@ class IngestThread(threading.Thread):
         batch_size: int = 500,
         pace: Optional[float] = 0.0,
         name: str = "repro-ingest",
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[[MaintenanceEngine, int], None]] = None,
     ):
         super().__init__(name=name, daemon=True)
         self.engine = engine
         self.events = events
         self.batch_size = batch_size
         self.pace = pace
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
         self.consumed = 0
         self.seconds = 0.0
         self.error: Optional[BaseException] = None
+        self._stop_requested = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the writer to drain at the next event boundary."""
+        self._stop_requested.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop_requested.is_set()
 
     def _counted(self) -> Iterable[Tuple[str, Tuple, int]]:
         for event in self.events:
+            if self._stop_requested.is_set():
+                return
             yield event
             # After the yield: apply_stream has batched (and possibly
             # flushed + published) the event by the time we count it, so
@@ -596,6 +655,8 @@ class IngestThread(threading.Thread):
             self.engine.apply_stream(
                 self._counted(),
                 batch_size=self.batch_size,
+                checkpoint_every=self.checkpoint_every,
+                on_checkpoint=self.on_checkpoint,
                 publish_batches=True,
                 # _counted() hides the stream object, so forward its
                 # window-bounds hook (if any) for snapshot provenance.

@@ -1,0 +1,23 @@
+"""Deterministic fault injection for robustness tests and benchmarks."""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    InjectedWorkerDeath,
+    clear_injector,
+    current_injector,
+    fire,
+    install_injector,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedWorkerDeath",
+    "clear_injector",
+    "current_injector",
+    "fire",
+    "install_injector",
+]

@@ -1,0 +1,150 @@
+"""Degraded serving: a dead writer never takes reads down.
+
+The serving contract under faults: ``/healthz`` and ``/stats`` answer
+200 throughout — flipping to ``degraded: true`` with a reason when the
+ingest writer has failed or the engine is mid-recovery — and the data
+endpoints keep answering from the last *published* snapshot.
+"""
+
+import threading
+
+from repro.serving import IngestThread, ServingApp, build_serving_scenario
+
+
+def scenario_engine(payload="covar", apply_events=120):
+    scenario = build_serving_scenario("toy", payload)
+    engine = scenario.engine()
+    if apply_events:
+        events = scenario.stream(batch_size=40).tuples(apply_events)
+        engine.apply_stream(events, batch_size=40)
+    engine.publish(event_offset=apply_events)
+    return scenario, engine
+
+
+class TestDegradedEndpoints:
+    def test_healthz_flags_degraded_but_stays_200(self):
+        _, engine = scenario_engine()
+        reason = [None]
+        app = ServingApp(engine, degraded_source=lambda: reason[0])
+        status, body = app.handle("/healthz")
+        assert (status, body["status"], body["degraded"]) == (200, "ok", False)
+
+        reason[0] = "ingest writer failed: boom"
+        status, body = app.handle("/healthz")
+        assert status == 200
+        assert body["status"] == "degraded"
+        assert body["degraded"] is True
+        assert body["degraded_reason"] == "ingest writer failed: boom"
+
+    def test_stats_carries_reason_and_engine_health(self):
+        _, engine = scenario_engine()
+        app = ServingApp(engine, degraded_source=lambda: "writer dead")
+        status, body = app.handle("/stats")
+        assert status == 200
+        assert body["degraded"] is True
+        assert body["degraded_reason"] == "writer dead"
+        assert body["health"]["status"] == "ok"
+        assert body["health"]["supervised"] is False
+
+    def test_data_endpoints_keep_serving_last_snapshot(self):
+        # The core graceful-degradation property: reads answer from the
+        # published epoch even while the app reports itself degraded.
+        _, engine = scenario_engine()
+        snapshot = engine.latest_snapshot()
+        app = ServingApp(engine, degraded_source=lambda: "writer dead")
+        for path in ("/covar", "/result"):
+            status, body = app.handle(path)
+            assert status == 200, path
+            assert body["epoch"] == snapshot.epoch
+
+    def test_broken_degraded_probe_degrades_instead_of_erroring(self):
+        _, engine = scenario_engine()
+
+        def explode():
+            raise RuntimeError("probe bug")
+
+        app = ServingApp(engine, degraded_source=explode)
+        status, body = app.handle("/healthz")
+        assert status == 200
+        assert body["degraded"] is True
+        assert "probe bug" in body["degraded_reason"]
+
+
+class TestWriterFailure:
+    def test_ingest_error_surfaces_while_reads_continue(self):
+        scenario, engine = scenario_engine(apply_events=0)
+
+        def events_then_crash():
+            for i, event in enumerate(
+                scenario.stream(batch_size=20).tuples(200)
+            ):
+                if i == 100:
+                    raise RuntimeError("simulated writer death")
+                yield event
+
+        ingest = IngestThread(engine, events_then_crash(), batch_size=20)
+
+        def degraded_reason():
+            if ingest.error is not None:
+                return f"ingest writer failed: {ingest.error}"
+            return None
+
+        app = ServingApp(
+            engine,
+            position_source=lambda: ingest.consumed,
+            degraded_source=degraded_reason,
+        )
+        ingest.start()
+        ingest.join(timeout=30.0)
+        assert isinstance(ingest.error, RuntimeError)
+        status, body = app.handle("/healthz")
+        assert status == 200
+        assert body["degraded"] is True
+        assert "simulated writer death" in body["degraded_reason"]
+        # Reads still answer from the epochs published before the death.
+        status, body = app.handle("/result")
+        assert status == 200
+        assert body["epoch"] >= 1
+
+
+class TestGracefulStop:
+    def test_stop_drains_at_event_boundary(self):
+        scenario, engine = scenario_engine(apply_events=0)
+        release = threading.Event()
+
+        def gated_events():
+            for i, event in enumerate(
+                scenario.stream(batch_size=10).tuples(100000)
+            ):
+                if i == 50:
+                    release.wait(timeout=30.0)
+                yield event
+
+        ingest = IngestThread(engine, gated_events(), batch_size=10)
+        ingest.start()
+        ingest.stop()
+        assert ingest.stopping
+        release.set()
+        ingest.join(timeout=30.0)
+        assert not ingest.is_alive()
+        assert ingest.error is None
+        # Drained mid-stream: far short of the requested events, and the
+        # engine still answers consistently from what was applied.
+        assert 0 < ingest.consumed < 100000
+        assert engine.result() is not None
+
+    def test_checkpoint_callback_rides_ingest(self):
+        scenario, engine = scenario_engine(apply_events=0)
+        positions = []
+        ingest = IngestThread(
+            engine,
+            scenario.stream(batch_size=20).tuples(200),
+            batch_size=20,
+            checkpoint_every=100,
+            on_checkpoint=lambda eng, pos: positions.append(pos),
+        )
+        ingest.start()
+        ingest.join(timeout=30.0)
+        assert ingest.error is None
+        assert positions and positions == sorted(positions)
+        assert all(pos % 100 == 0 for pos in positions)

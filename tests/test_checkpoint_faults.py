@@ -1,0 +1,197 @@
+"""Checkpoint crash-safety: orphaned tmp files, truncation, broken chains."""
+
+import glob
+import os
+
+import pytest
+
+from repro.checkpoint import (
+    checkpoint_sink,
+    load_checkpoint_chain,
+    read_checkpoint_info,
+    resolve_chain_head,
+    restore_checkpoint,
+    sweep_stale_tmp_files,
+    write_checkpoint,
+)
+from repro.config import create_engine
+from repro.datasets import (
+    UpdateStream,
+    toy_count_query,
+    toy_database,
+    toy_row_factories,
+    toy_variable_order,
+)
+from repro.errors import CheckpointError
+from repro.testing import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    clear_injector,
+    install_injector,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fault_free_afterwards():
+    yield
+    clear_injector()
+
+
+def toy_engine(events_applied=40, seed=31):
+    database = toy_database()
+    engine = create_engine(toy_count_query(), order=toy_variable_order())
+    engine.initialize(database)
+    if events_applied:
+        stream = UpdateStream(
+            database,
+            toy_row_factories(),
+            targets=("R", "S"),
+            batch_size=10,
+            insert_ratio=0.6,
+            seed=seed,
+        )
+        engine.apply_stream(stream.tuples(events_applied), batch_size=10)
+    return database, engine
+
+
+def tmp_orphans(tmp_path):
+    return glob.glob(str(tmp_path / "*.tmp"))
+
+
+class TestOrphanedTmpFiles:
+    def test_crash_mid_write_orphans_tmp_and_keeps_previous(self, tmp_path):
+        database, engine = toy_engine()
+        path = str(tmp_path / "c.ckpt")
+        before = write_checkpoint(engine, path)
+        install_injector(FaultInjector((
+            FaultSpec("crash", site="checkpoint.write"),
+        )))
+        with pytest.raises(InjectedFault, match="before publishing"):
+            write_checkpoint(engine, path)
+        # The interrupted write left its scratch file and nothing else:
+        # the previously published checkpoint is byte-for-byte intact.
+        assert len(tmp_orphans(tmp_path)) == 1
+        assert read_checkpoint_info(path).created_at == before.created_at
+        assert resolve_chain_head(path) == path
+
+    def test_sweep_removes_only_matching_orphans(self, tmp_path):
+        database, engine = toy_engine()
+        path = str(tmp_path / "c.ckpt")
+        write_checkpoint(engine, path)
+        # Orphans for the base and an increment, plus two look-alikes
+        # that must survive: another checkpoint's scratch and a real
+        # checkpoint whose name merely contains the basename.
+        for name in ("c.ckpt.k2j9.tmp", "c.ckpt.inc1.x7.tmp"):
+            (tmp_path / name).write_bytes(b"junk")
+        (tmp_path / "other.ckpt.k2j9.tmp").write_bytes(b"keep")
+        removed = sweep_stale_tmp_files(path)
+        assert sorted(os.path.basename(p) for p in removed) == [
+            "c.ckpt.inc1.x7.tmp", "c.ckpt.k2j9.tmp",
+        ]
+        assert (tmp_path / "other.ckpt.k2j9.tmp").exists()
+        assert read_checkpoint_info(path) is not None
+
+    def test_sink_sweeps_orphans_from_a_killed_predecessor(self, tmp_path):
+        database, engine = toy_engine()
+        path = str(tmp_path / "c.ckpt")
+        install_injector(FaultInjector((
+            FaultSpec("crash", site="checkpoint.write"),
+        )))
+        sink = checkpoint_sink(path)
+        with pytest.raises(InjectedFault):
+            sink(engine, 10)
+        assert len(tmp_orphans(tmp_path)) == 1
+        clear_injector()
+        # The next writer (here: the same sink, as after a recovery)
+        # sweeps the orphan before staging its own scratch file.
+        sink(engine, 20)
+        assert tmp_orphans(tmp_path) == []
+        assert read_checkpoint_info(path).metadata["events_processed"] == 20
+
+    def test_restore_round_trips_after_crash_and_retry(self, tmp_path):
+        database, engine = toy_engine()
+        path = str(tmp_path / "c.ckpt")
+        install_injector(FaultInjector((
+            FaultSpec("crash", site="checkpoint.write"),
+        )))
+        with pytest.raises(InjectedFault):
+            write_checkpoint(engine, path)
+        clear_injector()
+        write_checkpoint(engine, path)
+        restored = create_engine(toy_count_query(), order=toy_variable_order())
+        restore_checkpoint(restored, path)
+        assert restored.result() == engine.result()
+
+
+class TestTruncatedCheckpoints:
+    def test_truncated_file_refuses_to_load(self, tmp_path):
+        database, engine = toy_engine()
+        path = str(tmp_path / "c.ckpt")
+        install_injector(FaultInjector((
+            FaultSpec("truncate", site="checkpoint.finish", bytes_kept=8),
+        )))
+        write_checkpoint(engine, path)
+        assert os.path.getsize(path) == 8
+        with pytest.raises(CheckpointError):
+            read_checkpoint_info(path)
+
+
+class TestBrokenChains:
+    def write_chain(self, tmp_path, links=2):
+        database, engine = toy_engine(events_applied=0)
+        stream = UpdateStream(
+            database,
+            toy_row_factories(),
+            targets=("R", "S"),
+            batch_size=10,
+            insert_ratio=0.6,
+            seed=31,
+        )
+        events = list(stream.tuples(40 * (links + 1)))
+        paths = []
+        prev = None
+        for i in range(links + 1):
+            engine.apply_stream(
+                iter(events[i * 40:(i + 1) * 40]), batch_size=10
+            )
+            path = str(tmp_path / ("c.ckpt" if i == 0 else f"c.ckpt.inc{i}"))
+            state = engine.export_state()
+            info = write_checkpoint(engine, path, base=prev, state=state)
+            prev = (info, state)
+            paths.append(path)
+        return engine, paths
+
+    def test_corrupt_mid_link_names_link_and_restart_point(self, tmp_path):
+        _engine, paths = self.write_chain(tmp_path)
+        with open(paths[1], "r+b") as handle:
+            handle.truncate(8)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint_chain(paths[2])
+        message = str(excinfo.value)
+        assert f"broken at link {paths[1]!r}" in message
+        assert f"newest restorable full checkpoint: {paths[0]!r}" in message
+
+    def test_missing_mid_link_names_restart_point(self, tmp_path):
+        _engine, paths = self.write_chain(tmp_path)
+        os.unlink(paths[1])
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint_chain(paths[2])
+        message = str(excinfo.value)
+        assert "does not exist" in message
+        assert f"newest restorable full checkpoint: {paths[0]!r}" in message
+
+    def test_no_restart_point_when_full_snapshot_is_gone_too(self, tmp_path):
+        _engine, paths = self.write_chain(tmp_path)
+        os.unlink(paths[1])
+        os.unlink(paths[0])
+        with pytest.raises(
+            CheckpointError, match="newest restorable full checkpoint: "
+            "none found"
+        ):
+            load_checkpoint_chain(paths[2])
+
+    def test_chain_head_resolution_ignores_tmp_orphans(self, tmp_path):
+        _engine, paths = self.write_chain(tmp_path)
+        (tmp_path / "c.ckpt.inc3.zz.tmp").write_bytes(b"junk")
+        assert resolve_chain_head(paths[0]) == paths[2]
